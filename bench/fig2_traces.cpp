@@ -1,0 +1,71 @@
+// Figure 2 — "Real-world data": the non-iid, periodic-plus-noise structure
+// of the electricity price and workload processes.
+//
+// The paper plots NYISO hourly prices and hourly video-view counts; this
+// bench regenerates the synthetic equivalents the simulator uses and prints
+//   (a) one day of the hourly price trend vs. three sampled days,
+//   (b) workload demand over a day,
+//   (c) the periodicity evidence: autocorrelation at lag 24 >> lag 7, and
+//       the period-fold decomposition residual statistics.
+#include <iostream>
+
+#include "eotora/eotora.h"
+
+int main() {
+  using namespace eotora;
+  const std::size_t days = 14;
+  const std::size_t horizon = 24 * days;
+
+  trace::PriceTraceConfig price_config;
+  const auto prices =
+      trace::PriceTrace::generate(price_config, horizon, util::Rng(2026));
+
+  trace::WorkloadTraceConfig work_config;
+  work_config.devices = 1;
+  work_config.low = 50e6;
+  work_config.high = 200e6;
+  work_config.trend_weight = 0.5;
+  trace::WorkloadTrace workload(work_config, util::Rng(7));
+  std::vector<double> demand;
+  demand.reserve(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    demand.push_back(workload.next()[0] / 1e6);  // megacycles
+  }
+
+  std::cout << "Fig. 2 reproduction: synthetic NYISO-like price and diurnal "
+               "workload (period D = 24)\n\n";
+  util::Table table({"hour", "price trend $/MWh", "price day1", "price day2",
+                     "price day7", "workload day1 (Mcycles)"});
+  trace::PriceTrace trend_probe(price_config, util::Rng(2026));
+  for (std::size_t hour = 0; hour < 24; ++hour) {
+    table.add_numeric_row(
+        {static_cast<double>(hour), trend_probe.trend_at(hour), prices[hour],
+         prices[24 + hour], prices[24 * 6 + hour], demand[hour]},
+        1);
+  }
+  table.print(std::cout);
+
+  const auto price_decomp = trace::decompose(prices, 24);
+  const auto demand_decomp = trace::decompose(demand, 24);
+  std::cout << "\nnon-iid evidence (higher lag-24 autocorrelation = daily "
+               "periodicity):\n";
+  util::Table evidence({"series", "acf lag 24", "acf lag 7", "trend min",
+                        "trend max", "residual stddev"});
+  evidence.add_row({"price",
+                    util::format_double(trace::autocorrelation(prices, 24), 3),
+                    util::format_double(trace::autocorrelation(prices, 7), 3),
+                    util::format_double(price_decomp.trend.min(), 1),
+                    util::format_double(price_decomp.trend.max(), 1),
+                    util::format_double(price_decomp.residual_stddev, 2)});
+  evidence.add_row(
+      {"workload",
+       util::format_double(trace::autocorrelation(demand, 24), 3),
+       util::format_double(trace::autocorrelation(demand, 7), 3),
+       util::format_double(demand_decomp.trend.min(), 1),
+       util::format_double(demand_decomp.trend.max(), 1),
+       util::format_double(demand_decomp.residual_stddev, 2)});
+  evidence.print(std::cout);
+  std::cout << "\nexpected shape: both series fold onto a daily trend with "
+               "iid residuals, matching the paper's s_t = s̄_t + e_t model.\n";
+  return 0;
+}

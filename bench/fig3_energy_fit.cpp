@@ -1,0 +1,42 @@
+// Figure 3 — "Energy Consumption Function": the measured i7-3770K power
+// dots, the quadratic least-squares fit (the paper's black curve), and two
+// randomly perturbed per-server energy functions (the dashed curves).
+#include <iostream>
+
+#include "eotora/eotora.h"
+
+int main() {
+  using namespace eotora;
+
+  const auto& samples = energy::i7_3770k_samples();
+  const energy::QuadraticEnergy fit = energy::reference_cpu_fit();
+  util::Rng rng(13);
+  const energy::QuadraticEnergy perturbed_a =
+      energy::perturbed_model(fit, rng);
+  const energy::QuadraticEnergy perturbed_b =
+      energy::perturbed_model(fit, rng);
+
+  std::cout << "Fig. 3 reproduction: i7-3770K power vs clock frequency\n\n";
+  std::cout << "quadratic fit g(w) = a*w^2 + b*w + c:\n"
+            << "  a = " << fit.a() << "  b = " << fit.b()
+            << "  c = " << fit.c() << "\n";
+  const math::Polynomial poly{{fit.c(), fit.b(), fit.a()}};
+  std::cout << "  rmse over the measured dots = "
+            << math::fit_rmse(poly, energy::i7_3770k_frequencies(),
+                              energy::i7_3770k_powers())
+            << " W\n\n";
+
+  util::Table table({"GHz", "measured W", "fit W", "perturbed #1 W",
+                     "perturbed #2 W"});
+  for (const auto& s : samples) {
+    table.add_numeric_row({s.ghz, s.watts, fit.power(s.ghz),
+                           perturbed_a.power(s.ghz),
+                           perturbed_b.power(s.ghz)},
+                          2);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: the fit tracks the dots (convex, "
+               "increasing); perturbed curves bracket it, following the "
+               "paper's a(1+0.01e), b(1+0.1e), c(1+0.1e) recipe.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 5 — wall-clock time of the P2-A solvers for I = 80..120.
+//
+// Paper's reported shape: ROPT ~flat and cheapest; CGBA and MCBA grow with
+// I; the exact solver is orders of magnitude slower (the paper reports CGBA
+// more than 500x faster than Gurobi).
+#include <iostream>
+
+#include "bench_common.h"
+#include "eotora/eotora.h"
+
+int main() {
+  using namespace eotora;
+  std::cout << "Fig. 5 reproduction: P2-A solver runtime vs number of MDs "
+               "(milliseconds, average of 3 runs)\n\n";
+
+  util::Table table({"I", "ROPT ms", "CGBA(0) ms", "MCBA ms", "BnB ms",
+                     "BnB/CGBA"});
+  for (std::size_t devices = 80; devices <= 120; devices += 10) {
+    auto c = bench::make_p2a_case(devices, /*seed=*/1000 + devices);
+    const auto& instance = c.scenario->instance();
+    const core::WcgProblem problem(instance, c.state,
+                                   instance.max_frequencies());
+    util::Rng rng(5);
+
+    auto time_ms = [&](auto&& solve) {
+      const int repeats = 3;
+      util::Timer timer;
+      for (int r = 0; r < repeats; ++r) solve();
+      return timer.elapsed_ms() / repeats;
+    };
+
+    const double ropt_ms =
+        time_ms([&] { (void)core::ropt(problem, rng); });
+    const double cgba_ms =
+        time_ms([&] { (void)core::cgba(problem, core::CgbaConfig{}, rng); });
+    core::McbaConfig mcba_config;
+    mcba_config.iterations = 20000;
+    const double mcba_ms =
+        time_ms([&] { (void)core::mcba(problem, mcba_config, rng); });
+    // Exact-search stand-in: node budget keeps the bench bounded; the
+    // measured time is a LOWER bound on the true exact solve.
+    util::Rng warm_rng(6);
+    const auto warm = core::cgba(problem, core::CgbaConfig{}, warm_rng);
+    core::BnbConfig bnb_config;
+    bnb_config.node_budget = 500'000;
+    bnb_config.initial_incumbent = warm.profile;
+    const double bnb_ms = time_ms(
+        [&] { (void)core::branch_and_bound(problem, bnb_config); });
+
+    table.add_numeric_row({static_cast<double>(devices), ropt_ms, cgba_ms,
+                           mcba_ms, bnb_ms, bnb_ms / cgba_ms},
+                          3);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: ROPT flat; CGBA/MCBA grow mildly with I; "
+               "branch & bound is orders of magnitude slower than CGBA even "
+               "under a node budget (paper: >500x for Gurobi).\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 6 — CGBA(lambda) at I = 100: objective value and iterations to
+// converge for lambda in {0, 0.02, ..., 0.12}.
+//
+// Paper's reported shape: as lambda grows, iterations drop and the objective
+// value ... the paper's text says "the objective value under CGBA(lambda)
+// decreases" as lambda increases, but Theorem 2's bound loosens with lambda;
+// in practice the objective changes only mildly while iterations fall —
+// which is the actionable trade-off the figure demonstrates.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eotora/eotora.h"
+
+int main() {
+  using namespace eotora;
+  std::cout << "Fig. 6 reproduction: CGBA(lambda) at I = 100 "
+               "(average of 5 random starts)\n\n";
+
+  auto c = bench::make_p2a_case(100, /*seed=*/1100);
+  const auto& instance = c.scenario->instance();
+  const core::WcgProblem problem(instance, c.state,
+                                 instance.max_frequencies());
+
+  util::Table table({"lambda", "objective", "iterations",
+                     "theoretical ratio bound"});
+  for (double lambda : {0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12}) {
+    core::CgbaConfig config;
+    config.lambda = lambda;
+    double objective = 0.0;
+    double iterations = 0.0;
+    const int repeats = 5;
+    for (int r = 0; r < repeats; ++r) {
+      util::Rng rng(40 + r);
+      const auto result = core::cgba(problem, config, rng);
+      objective += result.cost;
+      iterations += static_cast<double>(result.iterations);
+    }
+    table.add_row({util::format_double(lambda, 2),
+                   util::format_double(objective / repeats, 3),
+                   util::format_double(iterations / repeats, 1),
+                   util::format_double(2.62 / (1.0 - 8.0 * lambda), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: iterations decrease as lambda grows; the "
+               "objective stays near the lambda = 0 equilibrium while the "
+               "worst-case bound 2.62/(1-8*lambda) loosens.\n";
+  return 0;
+}

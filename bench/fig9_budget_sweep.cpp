@@ -1,0 +1,56 @@
+// Figure 9 — time-average latency and energy cost versus the energy-cost
+// budget C̄, comparing BDMA-based DPP against ROPT-based DPP and MCBA-based
+// DPP (each latency averaged over the last 48 slots, as in the paper).
+//
+// Paper's reported shape: BDMA-based DPP achieves the lowest latency at
+// every budget; all DPP variants keep the average energy cost below the
+// budget line; latency falls as the budget loosens.
+#include <iostream>
+
+#include "eotora/eotora.h"
+
+int main() {
+  using namespace eotora;
+  const std::size_t horizon = 24 * 12;  // 12 days; report the last 48 slots
+  const std::size_t window = 48;
+
+  std::cout << "Fig. 9 reproduction: latency & energy cost vs budget "
+               "(I = 100, V = 100, z = 5, 48-slot averages)\n\n";
+
+  util::Table table({"budget $/slot", "policy", "avg latency (s)",
+                     "avg cost ($/slot)", "within budget"});
+  for (double budget : {0.85, 0.95, 1.05, 1.15, 1.25, 1.35}) {
+    sim::ScenarioConfig config;
+    config.devices = 100;
+    config.budget_per_slot = budget;
+    config.seed = 2023;  // same seed: identical topology + state draws
+    sim::Scenario scenario(config);
+    const auto states = scenario.generate_states(horizon);
+
+    for (core::P2aSolverKind kind :
+         {core::P2aSolverKind::kCgba, core::P2aSolverKind::kMcba,
+          core::P2aSolverKind::kRopt}) {
+      core::DppConfig dpp;
+      dpp.v = 100.0;
+      // Warm-start the virtual queue near its converged level (see Fig. 7)
+      // so the 48-slot reporting window reflects steady-state behaviour
+      // instead of the initial transient.
+      dpp.initial_queue = 30.0;
+      dpp.bdma.iterations = 5;
+      dpp.bdma.solver = kind;
+      dpp.bdma.mcba.iterations = 3000;
+      sim::DppPolicy policy(scenario.instance(), dpp);
+      const auto result = sim::run_policy(policy, states);
+      const auto tail = sim::tail_averages(result, window);
+      table.add_row({util::format_double(budget, 2), result.policy_name,
+                     util::format_double(tail.latency, 3),
+                     util::format_double(tail.energy_cost, 3),
+                     tail.energy_cost <= budget * 1.02 ? "yes" : "no"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: BDMA-based DPP has the lowest latency at "
+               "every budget; tail energy cost tracks at or below the "
+               "budget; latency falls as the budget loosens.\n";
+  return 0;
+}

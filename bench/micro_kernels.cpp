@@ -1,0 +1,164 @@
+// google-benchmark micro suite over the hot paths of the per-slot decision:
+// WCG construction, best responses, Lemma 1, latency evaluation, P2-B, and
+// full CGBA / BDMA solves at the paper's scale.
+#include <benchmark/benchmark.h>
+
+#include "eotora/eotora.h"
+
+namespace {
+
+using namespace eotora;
+
+struct Fixture {
+  Fixture() {
+    sim::ScenarioConfig config;
+    config.devices = 100;
+    config.seed = 555;
+    scenario = std::make_unique<sim::Scenario>(config);
+    for (int warmup = 0; warmup < 3; ++warmup) {
+      state = scenario->next_state();
+    }
+    problem = std::make_unique<core::WcgProblem>(
+        scenario->instance(), state,
+        scenario->instance().max_frequencies());
+    util::Rng rng(1);
+    profile = problem->random_profile(rng);
+    assignment = problem->to_assignment(profile);
+  }
+
+  std::unique_ptr<sim::Scenario> scenario;
+  core::SlotState state;
+  std::unique_ptr<core::WcgProblem> problem;
+  core::Profile profile;
+  core::Assignment assignment;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_WcgConstruction(benchmark::State& bench) {
+  auto& f = fixture();
+  const auto& instance = f.scenario->instance();
+  for (auto _ : bench) {
+    core::WcgProblem problem(instance, f.state, instance.max_frequencies());
+    benchmark::DoNotOptimize(problem.num_resources());
+  }
+}
+BENCHMARK(BM_WcgConstruction);
+
+void BM_TotalCost(benchmark::State& bench) {
+  auto& f = fixture();
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(f.problem->total_cost(f.profile));
+  }
+}
+BENCHMARK(BM_TotalCost);
+
+void BM_BestResponseSweep(benchmark::State& bench) {
+  auto& f = fixture();
+  core::LoadTracker tracker(*f.problem, f.profile);
+  for (auto _ : bench) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < f.problem->num_devices(); ++i) {
+      total += tracker.best_response(i).cost;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_BestResponseSweep);
+
+void BM_Lemma1Allocation(benchmark::State& bench) {
+  auto& f = fixture();
+  const auto& instance = f.scenario->instance();
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(
+        core::optimal_allocation(instance, f.state, f.assignment));
+  }
+}
+BENCHMARK(BM_Lemma1Allocation);
+
+void BM_ReducedLatency(benchmark::State& bench) {
+  auto& f = fixture();
+  const auto& instance = f.scenario->instance();
+  const auto freq = instance.max_frequencies();
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(
+        core::reduced_latency(instance, f.state, f.assignment, freq));
+  }
+}
+BENCHMARK(BM_ReducedLatency);
+
+void BM_P2bSolve(benchmark::State& bench) {
+  auto& f = fixture();
+  const auto& instance = f.scenario->instance();
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(
+        core::solve_p2b(instance, f.state, f.assignment, 100.0, 50.0));
+  }
+}
+BENCHMARK(BM_P2bSolve);
+
+void BM_CgbaSolve(benchmark::State& bench) {
+  auto& f = fixture();
+  util::Rng rng(2);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(
+        core::cgba(*f.problem, core::CgbaConfig{}, rng));
+  }
+}
+BENCHMARK(BM_CgbaSolve);
+
+void BM_BdmaSlot(benchmark::State& bench) {
+  auto& f = fixture();
+  const auto& instance = f.scenario->instance();
+  util::Rng rng(3);
+  core::BdmaConfig config;
+  config.iterations = 5;
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(
+        core::bdma(instance, f.state, 100.0, 50.0, config, rng));
+  }
+}
+BENCHMARK(BM_BdmaSlot);
+
+void BM_FrankWolfeLowerBound(benchmark::State& bench) {
+  auto& f = fixture();
+  core::RelaxationConfig config;
+  config.max_iterations = 200;
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(core::fractional_lower_bound(*f.problem, config));
+  }
+}
+BENCHMARK(BM_FrankWolfeLowerBound);
+
+void BM_DesStaticSlot(benchmark::State& bench) {
+  auto& f = fixture();
+  const auto& instance = f.scenario->instance();
+  const auto freq = instance.max_frequencies();
+  const auto alloc = core::optimal_allocation(instance, f.state, f.assignment);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(
+        des::simulate_slot(instance, f.state, f.assignment, freq, alloc,
+                           des::SharingDiscipline::kStaticShares));
+  }
+}
+BENCHMARK(BM_DesStaticSlot);
+
+void BM_DesProcessorSharingSlot(benchmark::State& bench) {
+  auto& f = fixture();
+  const auto& instance = f.scenario->instance();
+  const auto freq = instance.max_frequencies();
+  const auto alloc = core::optimal_allocation(instance, f.state, f.assignment);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(
+        des::simulate_slot(instance, f.state, f.assignment, freq, alloc,
+                           des::SharingDiscipline::kProcessorSharing));
+  }
+}
+BENCHMARK(BM_DesProcessorSharingSlot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

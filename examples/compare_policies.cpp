@@ -1,0 +1,72 @@
+// Side-by-side comparison of every online policy in the library on the same
+// recorded state sequence — the paper's controller, its two weaker-inner-
+// solver variants, the myopic per-slot-budget baseline, and the two fixed-
+// frequency extremes.
+//
+// Also demonstrates the record/replay workflow: the state sequence is saved
+// to CSV and reloaded, proving a run can be reproduced from the file alone.
+//
+//   $ ./examples/compare_policies
+#include <cstdio>
+#include <iostream>
+
+#include "eotora/eotora.h"
+
+int main() {
+  using namespace eotora;
+
+  sim::ScenarioConfig config;
+  config.devices = 100;
+  config.budget_per_slot = 1.0;
+  config.seed = 4242;
+  sim::Scenario scenario(config);
+  sim::print_scenario(std::cout, scenario);
+
+  const std::size_t horizon = 24 * 10;
+  const auto generated = scenario.generate_states(horizon);
+
+  // Record + replay round trip: every policy below consumes the REPLAYED
+  // states, so the whole comparison is reproducible from the CSV alone.
+  const std::string trace_path = "/tmp/eotora_compare_trace.csv";
+  sim::save_states(trace_path, generated);
+  const auto states = sim::load_states(trace_path);
+  std::cout << "\nrecorded " << states.size() << " slots to " << trace_path
+            << " and replayed them\n\n";
+
+  const auto& instance = scenario.instance();
+  std::vector<sim::SimulationResult> results;
+
+  for (core::P2aSolverKind kind :
+       {core::P2aSolverKind::kCgba, core::P2aSolverKind::kMcba,
+        core::P2aSolverKind::kRopt}) {
+    core::DppConfig dpp;
+    dpp.v = 100.0;
+    // Start the virtual queue near its converged level so the averages
+    // below reflect steady state rather than the ramp-up transient.
+    dpp.initial_queue = 30.0;
+    dpp.bdma.iterations = 5;
+    dpp.bdma.solver = kind;
+    dpp.bdma.mcba.iterations = 3000;
+    sim::DppPolicy policy(instance, dpp);
+    results.push_back(sim::run_policy(policy, states));
+  }
+  sim::GreedyBudgetPolicy greedy(instance);
+  results.push_back(sim::run_policy(greedy, states));
+  sim::FixedFrequencyPolicy always_max(instance, 1.0);
+  results.push_back(sim::run_policy(always_max, states));
+  sim::FixedFrequencyPolicy always_min(instance, 0.0);
+  results.push_back(sim::run_policy(always_min, states));
+
+  sim::print_comparison(std::cout, results, config.budget_per_slot);
+
+  std::cout
+      << "\nreading the table:\n"
+      << "  - BDMA-based DPP should dominate: lowest latency among the\n"
+      << "    budget-respecting policies.\n"
+      << "  - Greedy spends the budget every slot, so it buys speed in\n"
+      << "    cheap hours it could have banked for expensive ones.\n"
+      << "  - Always-max is the latency floor but blows the budget;\n"
+      << "    always-min is the cost floor with the worst latency.\n";
+  std::remove(trace_path.c_str());
+  return 0;
+}

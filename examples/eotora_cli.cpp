@@ -1,0 +1,132 @@
+// Command-line experiment driver: run any policy on the paper scenario with
+// parameters from flags, optionally recording the state trace or replaying a
+// previous one.
+//
+//   $ ./examples/eotora_cli --help
+//   $ ./examples/eotora_cli --policy=bdma --v=200 --days=7 --budget=1.1
+//   $ ./examples/eotora_cli --policy=greedy --devices=60 --record=run.csv
+//   $ ./examples/eotora_cli --policy=mcba --replay=run.csv
+#include <iostream>
+#include <memory>
+
+#include "eotora/eotora.h"
+#include "util/args.h"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      R"(eotora_cli - run an EOTORA policy on the paper scenario
+
+options (all --key=value):
+  --policy   bdma | mcba | ropt | greedy | mpc | fixed-max | fixed-min  [bdma]
+  --devices  number of mobile devices                             [100]
+  --days     horizon in days (24 slots each)                      [7]
+  --budget   energy budget in $ per slot                          [1.0]
+  --v        DPP penalty weight V                                 [100]
+  --q0       initial queue backlog Q(1)                           [0]
+  --z        BDMA iterations                                      [5]
+  --seed     scenario seed                                        [42]
+  --record   write the generated state trace to this CSV path
+  --replay   read states from this CSV instead of generating
+  --log      write a per-slot decision log (CSV) to this path
+  --help     this text
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eotora;
+  try {
+    const util::Args args(argc, argv,
+                          {"policy", "devices", "days", "budget", "v", "q0",
+                           "z", "seed", "record", "replay", "log", "help"});
+    if (args.has("help")) {
+      print_usage();
+      return 0;
+    }
+
+    sim::ScenarioConfig config;
+    config.devices = static_cast<std::size_t>(args.get_int("devices", 100));
+    config.budget_per_slot = args.get_double("budget", 1.0);
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    sim::Scenario scenario(config);
+    sim::print_scenario(std::cout, scenario);
+
+    std::vector<core::SlotState> states;
+    if (args.has("replay")) {
+      states = sim::load_states(args.get("replay", ""));
+      std::cout << "replaying " << states.size() << " slots from "
+                << args.get("replay", "") << "\n";
+    } else {
+      const auto days = static_cast<std::size_t>(args.get_int("days", 7));
+      states = scenario.generate_states(24 * days);
+    }
+    if (args.has("record")) {
+      sim::save_states(args.get("record", ""), states);
+      std::cout << "recorded " << states.size() << " slots to "
+                << args.get("record", "") << "\n";
+    }
+
+    const std::string policy_name = args.get("policy", "bdma");
+    std::unique_ptr<sim::Policy> policy;
+    core::DppConfig dpp;
+    dpp.v = args.get_double("v", 100.0);
+    dpp.initial_queue = args.get_double("q0", 0.0);
+    dpp.bdma.iterations =
+        static_cast<std::size_t>(args.get_int("z", 5));
+    if (policy_name == "bdma") {
+      policy = std::make_unique<sim::DppPolicy>(scenario.instance(), dpp);
+    } else if (policy_name == "mcba") {
+      dpp.bdma.solver = core::P2aSolverKind::kMcba;
+      policy = std::make_unique<sim::DppPolicy>(scenario.instance(), dpp);
+    } else if (policy_name == "ropt") {
+      dpp.bdma.solver = core::P2aSolverKind::kRopt;
+      policy = std::make_unique<sim::DppPolicy>(scenario.instance(), dpp);
+    } else if (policy_name == "greedy") {
+      policy = std::make_unique<sim::GreedyBudgetPolicy>(scenario.instance());
+    } else if (policy_name == "mpc") {
+      policy = std::make_unique<sim::MpcPolicy>(scenario.instance(),
+                                                sim::MpcConfig{});
+    } else if (policy_name == "fixed-max") {
+      policy =
+          std::make_unique<sim::FixedFrequencyPolicy>(scenario.instance(),
+                                                      1.0);
+    } else if (policy_name == "fixed-min") {
+      policy =
+          std::make_unique<sim::FixedFrequencyPolicy>(scenario.instance(),
+                                                      0.0);
+    } else {
+      std::cerr << "unknown --policy '" << policy_name << "'\n";
+      print_usage();
+      return 2;
+    }
+
+    sim::SimulationResult result;
+    if (args.has("log")) {
+      // Manual loop so each slot can be logged.
+      policy->reset();
+      util::Rng rng(1);
+      result.policy_name = policy->name();
+      sim::DecisionLog log;
+      util::Timer timer;
+      for (const auto& state : states) {
+        const auto slot = policy->step(state, rng);
+        result.metrics.record(slot);
+        log.record(state, slot);
+      }
+      result.wall_seconds = timer.elapsed_seconds();
+      log.save(args.get("log", ""));
+      std::cout << "wrote per-slot log to " << args.get("log", "") << "\n";
+    } else {
+      result = sim::run_policy(*policy, states);
+    }
+    std::cout << "\n";
+    sim::print_comparison(std::cout, {result}, config.budget_per_slot);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

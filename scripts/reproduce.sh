@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate every
+# paper figure and every ablation, and collect the outputs under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name =="
+  "$bench" | tee "results/$name.txt"
+done
+echo "outputs written to results/"

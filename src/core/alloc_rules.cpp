@@ -1,0 +1,98 @@
+#include "core/alloc_rules.h"
+
+#include <cmath>
+
+#include "core/latency.h"
+#include "core/lemma1.h"
+#include "util/check.h"
+
+namespace eotora::core {
+
+namespace {
+
+// Shared scaffolding: weights per device on its three resources are turned
+// into shares by normalizing within each resource's sharer set.
+ResourceAllocation normalize(
+    const Instance& instance, const Assignment& assignment,
+    const std::vector<double>& w_compute, const std::vector<double>& w_access,
+    const std::vector<double>& w_fronthaul) {
+  const auto& topo = instance.topology();
+  const std::size_t devices = instance.num_devices();
+  std::vector<double> compute_sum(topo.num_servers(), 0.0);
+  std::vector<double> access_sum(topo.num_base_stations(), 0.0);
+  std::vector<double> fronthaul_sum(topo.num_base_stations(), 0.0);
+  for (std::size_t i = 0; i < devices; ++i) {
+    compute_sum[assignment.server_of[i]] += w_compute[i];
+    access_sum[assignment.bs_of[i]] += w_access[i];
+    fronthaul_sum[assignment.bs_of[i]] += w_fronthaul[i];
+  }
+  ResourceAllocation alloc;
+  alloc.phi.resize(devices);
+  alloc.psi_access.resize(devices);
+  alloc.psi_fronthaul.resize(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    alloc.phi[i] = w_compute[i] / compute_sum[assignment.server_of[i]];
+    alloc.psi_access[i] = w_access[i] / access_sum[assignment.bs_of[i]];
+    alloc.psi_fronthaul[i] =
+        w_fronthaul[i] / fronthaul_sum[assignment.bs_of[i]];
+  }
+  return alloc;
+}
+
+void check_assignment(const Instance& instance, const SlotState& state,
+                      const Assignment& assignment) {
+  const std::size_t devices = instance.num_devices();
+  EOTORA_REQUIRE(assignment.bs_of.size() == devices);
+  EOTORA_REQUIRE(assignment.server_of.size() == devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    EOTORA_REQUIRE(assignment.bs_of[i] < instance.num_base_stations());
+    EOTORA_REQUIRE(assignment.server_of[i] < instance.num_servers());
+    EOTORA_REQUIRE_MSG(state.channel[i][assignment.bs_of[i]] > 0.0,
+                       "device " << i << " has an unusable channel");
+  }
+}
+
+}  // namespace
+
+ResourceAllocation equal_share_allocation(const Instance& instance,
+                                          const SlotState& state,
+                                          const Assignment& assignment) {
+  check_assignment(instance, state, assignment);
+  const std::vector<double> ones(instance.num_devices(), 1.0);
+  return normalize(instance, assignment, ones, ones, ones);
+}
+
+ResourceAllocation demand_proportional_allocation(
+    const Instance& instance, const SlotState& state,
+    const Assignment& assignment) {
+  check_assignment(instance, state, assignment);
+  const std::size_t devices = instance.num_devices();
+  std::vector<double> w_compute(devices);
+  std::vector<double> w_access(devices);
+  std::vector<double> w_fronthaul(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::size_t n = assignment.server_of[i];
+    const std::size_t k = assignment.bs_of[i];
+    w_compute[i] = state.task_cycles[i] / instance.suitability(i, n);
+    w_access[i] = state.data_bits[i] / state.channel[i][k];
+    w_fronthaul[i] = state.data_bits[i];
+  }
+  return normalize(instance, assignment, w_compute, w_access, w_fronthaul);
+}
+
+std::vector<double> reduced_device_latencies(const Instance& instance,
+                                             const SlotState& state,
+                                             const Assignment& assignment,
+                                             const Frequencies& frequencies) {
+  const ResourceAllocation alloc =
+      optimal_allocation(instance, state, assignment);
+  std::vector<double> latencies(instance.num_devices(), 0.0);
+  for (std::size_t i = 0; i < instance.num_devices(); ++i) {
+    latencies[i] = device_latency_under_allocation(instance, state, assignment,
+                                                   frequencies, alloc, i)
+                       .total();
+  }
+  return latencies;
+}
+
+}  // namespace eotora::core

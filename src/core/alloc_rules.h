@@ -1,0 +1,43 @@
+// Alternative (sub-optimal) resource-allocation rules.
+//
+// Lemma 1's square-root proportional sharing is the paper's closed-form
+// optimum. These rules are the natural straw men an operator might deploy
+// instead — equal sharing and demand-proportional sharing — implemented so
+// Lemma 1's contribution can be ablated quantitatively
+// (bench/ablation_alloc) and so downstream users can plug in their own
+// policies against the same latency evaluator.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace eotora::core {
+
+// Every device sharing a resource gets an equal slice (1/n each).
+[[nodiscard]] ResourceAllocation equal_share_allocation(
+    const Instance& instance, const SlotState& state,
+    const Assignment& assignment);
+
+// Shares proportional to raw demand: φ ∝ f_i/σ, ψ^A ∝ d_i/h, ψ^F ∝ d_i.
+// (Linear weighting — the intuitive rule; Lemma 1 proves the SQUARE ROOT of
+// these weights is what actually minimizes total latency.)
+//
+// A neat identity the tests pin down: for the inverse-share latency
+// Σ_i c_i/s_i, linear-proportional shares (s_i = c_i/Σc) and equal shares
+// (s_i = 1/n) give the SAME total, n·Σc — they differ only in how latency is
+// distributed across devices (proportional equalizes per-device latency at
+// exactly Σc each; equal sharing makes device latency proportional to its
+// demand). The Lemma-1 optimum (Σ√c)² ≤ n·Σc improves the TOTAL.
+[[nodiscard]] ResourceAllocation demand_proportional_allocation(
+    const Instance& instance, const SlotState& state,
+    const Assignment& assignment);
+
+// Per-device latencies at the Lemma-1 (optimal) allocation — the per-device
+// decomposition of T_t, for fairness reporting (percentiles, worst device).
+[[nodiscard]] std::vector<double> reduced_device_latencies(
+    const Instance& instance, const SlotState& state,
+    const Assignment& assignment, const Frequencies& frequencies);
+
+}  // namespace eotora::core

@@ -1,0 +1,65 @@
+#include "core/bdma.h"
+
+#include <limits>
+
+#include "core/latency.h"
+#include "core/ropt.h"
+#include "core/wcg.h"
+#include "util/check.h"
+
+namespace eotora::core {
+
+BdmaResult bdma(const Instance& instance, const SlotState& state, double v,
+                double q, const BdmaConfig& config, util::Rng& rng) {
+  EOTORA_REQUIRE(config.iterations >= 1);
+  EOTORA_REQUIRE_MSG(v >= 0.0, "V=" << v);
+  EOTORA_REQUIRE_MSG(q >= 0.0, "Q=" << q);
+
+  // Line 1 of Algorithm 2: Ω starts at the lowest feasible frequencies.
+  Frequencies omega = instance.min_frequencies();
+  WcgProblem problem(instance, state, omega);
+
+  BdmaResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  SolveResult previous;  // warm start for iterations > 1
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    problem.set_frequencies(instance, omega);
+    // Line 3: solve P2-A at the current Ω.
+    SolveResult p2a;
+    switch (config.solver) {
+      case P2aSolverKind::kCgba:
+        p2a = (iter == 0 || previous.profile.empty())
+                  ? cgba(problem, config.cgba, rng)
+                  : cgba_from(problem, config.cgba, previous.profile);
+        break;
+      case P2aSolverKind::kMcba:
+        p2a = mcba(problem, config.mcba, rng);
+        break;
+      case P2aSolverKind::kRopt:
+        p2a = ropt(problem, rng);
+        break;
+    }
+    previous = p2a;
+    best.p2a_iterations += p2a.iterations;
+    const Assignment assignment = problem.to_assignment(p2a.profile);
+    // Line 4: solve P2-B at the fixed assignment.
+    const P2bResult p2b = solve_p2b(instance, state, assignment, v, q,
+                                    config.freq_tolerance);
+    best.objective_history.push_back(p2b.objective);
+    // Lines 5-8: keep the best pair by the P2 objective.
+    if (p2b.objective < best.objective) {
+      best.objective = p2b.objective;
+      best.assignment = assignment;
+      best.frequencies = p2b.frequencies;
+    }
+    omega = p2b.frequencies;
+  }
+
+  best.latency =
+      reduced_latency(instance, state, best.assignment, best.frequencies);
+  best.theta = instance.theta(best.frequencies, state.price_per_mwh);
+  return best;
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,51 @@
+// BDMA — Benders' Decomposition Motivated Algorithm for P2 (paper Alg. 2).
+//
+// Alternates between the two subproblems for z iterations:
+//   P2-A: fix Ω, solve the assignment with a P2-A solver (CGBA by default;
+//         MCBA / ROPT give the paper's "<solver>-based DPP" baselines);
+//   P2-B: fix (x, y), solve the frequencies by per-server convex search.
+// The best (x, y, Ω) by the P2 objective f = V·T + Q·Θ across iterations is
+// returned (line 5-8 of Algorithm 2). Ω starts at Ω^L, which is what the
+// approximation proof of Theorem 3 relies on.
+#pragma once
+
+#include <vector>
+
+#include "core/cgba.h"
+#include "core/instance.h"
+#include "core/mcba.h"
+#include "core/p2b.h"
+#include "core/solve_result.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+
+enum class P2aSolverKind { kCgba, kMcba, kRopt };
+
+struct BdmaConfig {
+  std::size_t iterations = 5;  // the paper's z
+  P2aSolverKind solver = P2aSolverKind::kCgba;
+  CgbaConfig cgba;
+  McbaConfig mcba;
+  double freq_tolerance = 1e-7;
+};
+
+struct BdmaResult {
+  Assignment assignment;
+  Frequencies frequencies;
+  double objective = 0.0;    // f(x̄, ȳ, Ω̄) = V·T + Q·Θ
+  double latency = 0.0;      // T_t(x̄, ȳ, Ω̄, β)
+  double theta = 0.0;        // Θ(Ω̄, p) = C_t - C̄
+  std::size_t p2a_iterations = 0;  // total inner-solver work
+  // Objective after each BDMA iteration (size == config.iterations); the
+  // running minimum of this series is what Algorithm 2's lines 5-8 keep.
+  std::vector<double> objective_history;
+};
+
+// Solves P2 at one slot. `v` is the DPP weight V, `q` the current queue
+// backlog Q(t).
+[[nodiscard]] BdmaResult bdma(const Instance& instance, const SlotState& state,
+                              double v, double q, const BdmaConfig& config,
+                              util::Rng& rng);
+
+}  // namespace eotora::core

@@ -1,0 +1,163 @@
+#include "core/bnb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+namespace {
+
+// Static own cost of an option: Σ_r m_r p_{i,r}² (load-independent part).
+double static_cost(const WcgProblem& problem, const Option& opt) {
+  return problem.weight(opt.r_compute) * opt.p_compute * opt.p_compute +
+         problem.weight(opt.r_access) * opt.p_access * opt.p_access +
+         problem.weight(opt.r_fronthaul) * opt.p_fronthaul * opt.p_fronthaul;
+}
+
+struct SearchState {
+  const WcgProblem* problem = nullptr;
+  std::vector<std::size_t> order;        // device visit order
+  std::vector<double> suffix_static;     // Σ static_min over order[d..]
+  std::vector<double> loads;             // P_r of the partial assignment
+  Profile partial;                       // option per device (by device id)
+  double partial_cost = 0.0;
+  double incumbent_cost = std::numeric_limits<double>::infinity();
+  Profile incumbent;
+  std::size_t nodes = 0;
+  std::size_t node_budget = 0;  // 0 = unlimited
+  bool budget_exhausted = false;
+  double prune_factor = 1.0;    // 1 - relative_gap
+};
+
+// Incremental social-cost increase of adding `opt` at loads `P`.
+double marginal_cost(const WcgProblem& problem, const std::vector<double>& p,
+                     const Option& opt) {
+  const double mc = problem.weight(opt.r_compute);
+  const double ma = problem.weight(opt.r_access);
+  const double mf = problem.weight(opt.r_fronthaul);
+  return mc * (2.0 * p[opt.r_compute] * opt.p_compute +
+               opt.p_compute * opt.p_compute) +
+         ma * (2.0 * p[opt.r_access] * opt.p_access +
+               opt.p_access * opt.p_access) +
+         mf * (2.0 * p[opt.r_fronthaul] * opt.p_fronthaul +
+               opt.p_fronthaul * opt.p_fronthaul);
+}
+
+void apply(std::vector<double>& p, const Option& opt, double sign) {
+  p[opt.r_compute] += sign * opt.p_compute;
+  p[opt.r_access] += sign * opt.p_access;
+  p[opt.r_fronthaul] += sign * opt.p_fronthaul;
+}
+
+void dfs(SearchState& state, std::size_t depth) {
+  if (state.budget_exhausted) return;
+  const WcgProblem& problem = *state.problem;
+  ++state.nodes;
+  if (state.node_budget != 0 && state.nodes > state.node_budget) {
+    state.budget_exhausted = true;
+    return;
+  }
+  if (depth == state.order.size()) {
+    if (state.partial_cost < state.incumbent_cost) {
+      state.incumbent_cost = state.partial_cost;
+      state.incumbent = state.partial;
+    }
+    return;
+  }
+  const std::size_t device = state.order[depth];
+  const auto& options = problem.options(device);
+
+  // Children sorted by incremental cost: good incumbents appear early.
+  std::vector<std::pair<double, std::size_t>> children;
+  children.reserve(options.size());
+  for (std::size_t o = 0; o < options.size(); ++o) {
+    children.emplace_back(marginal_cost(problem, state.loads, options[o]), o);
+  }
+  std::sort(children.begin(), children.end());
+
+  const double suffix = state.suffix_static[depth + 1];
+  for (const auto& [delta, o] : children) {
+    const double bound = state.partial_cost + delta + suffix;
+    if (bound >= state.incumbent_cost * state.prune_factor) {
+      // Children are cost-sorted and `suffix` is child-independent, so every
+      // later sibling is pruned too.
+      break;
+    }
+    apply(state.loads, options[o], +1.0);
+    state.partial[device] = o;
+    state.partial_cost += delta;
+    dfs(state, depth + 1);
+    state.partial_cost -= delta;
+    apply(state.loads, options[o], -1.0);
+    if (state.budget_exhausted) return;
+  }
+}
+
+}  // namespace
+
+SolveResult branch_and_bound(const WcgProblem& problem,
+                             const BnbConfig& config) {
+  EOTORA_REQUIRE(config.relative_gap >= 0.0 && config.relative_gap < 1.0);
+  const std::size_t devices = problem.num_devices();
+
+  SearchState state;
+  state.problem = &problem;
+  state.node_budget = config.node_budget;
+  state.prune_factor = 1.0 - config.relative_gap;
+
+  // Static minimum own cost per device (admissible future-contribution
+  // bound) and a heaviest-first visit order.
+  std::vector<double> static_min(devices, 0.0);
+  for (std::size_t i = 0; i < devices; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Option& opt : problem.options(i)) {
+      best = std::min(best, static_cost(problem, opt));
+    }
+    static_min[i] = best;
+  }
+  state.order.resize(devices);
+  std::iota(state.order.begin(), state.order.end(), std::size_t{0});
+  std::sort(state.order.begin(), state.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return static_min[a] > static_min[b];
+            });
+  state.suffix_static.assign(devices + 1, 0.0);
+  for (std::size_t d = devices; d-- > 0;) {
+    state.suffix_static[d] =
+        state.suffix_static[d + 1] + static_min[state.order[d]];
+  }
+
+  state.loads.assign(problem.num_resources(), 0.0);
+  state.partial.assign(devices, 0);
+  if (config.initial_incumbent.has_value()) {
+    state.incumbent = *config.initial_incumbent;
+    state.incumbent_cost = problem.total_cost(state.incumbent);
+  }
+
+  dfs(state, 0);
+
+  SolveResult result;
+  result.iterations = state.nodes;
+  if (state.incumbent.empty()) {
+    // No warm start and the budget died before the first leaf: fall back to
+    // the all-first-options profile so the result is always feasible.
+    result.profile.assign(devices, 0);
+    result.cost = problem.total_cost(result.profile);
+  } else {
+    result.profile = state.incumbent;
+    result.cost = state.incumbent_cost;
+  }
+  result.optimal = !state.budget_exhausted && config.relative_gap == 0.0;
+  result.lower_bound = state.budget_exhausted
+                           ? problem.singleton_lower_bound()
+                           : result.cost * state.prune_factor;
+  result.converged = !state.budget_exhausted;
+  return result;
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,36 @@
+// Branch & bound for P2-A — the library's substitute for the commercial
+// Gurobi baseline the paper uses for its "optimal" series (Figs. 4-5).
+//
+// Search: depth-first over devices (heaviest singleton cost first), children
+// ordered by incremental cost. Bound: at a node with loads P, assigning
+// device i to option o adds  Σ_r m_r (2 P_r p_{i,r} + p_{i,r}²)  — and since
+// loads only grow along a branch, the static own-cost  Σ_r m_r p_{i,r}²  of
+// each unassigned device is an admissible bound on its future contribution.
+// A node is pruned when  child_cost + Σ_{unassigned} static_min  >= incumbent.
+//
+// With a node budget the solver degrades gracefully: it returns the best
+// incumbent plus a valid global lower bound and `optimal = false`.
+#pragma once
+
+#include <optional>
+
+#include "core/solve_result.h"
+#include "core/wcg.h"
+
+namespace eotora::core {
+
+struct BnbConfig {
+  // Maximum number of explored nodes; 0 means unlimited (exact search).
+  std::size_t node_budget = 0;
+  // Optional warm-start incumbent (e.g. a CGBA solution).
+  std::optional<Profile> initial_incumbent;
+  // Relative pruning slack: prune when bound >= incumbent * (1 - gap).
+  // 0 gives the exact optimum; a small positive value (e.g. 1e-3) trades
+  // certified precision for speed.
+  double relative_gap = 0.0;
+};
+
+[[nodiscard]] SolveResult branch_and_bound(const WcgProblem& problem,
+                                           const BnbConfig& config = {});
+
+}  // namespace eotora::core

@@ -1,0 +1,53 @@
+#include "core/brute_force.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+SolveResult brute_force(const WcgProblem& problem, std::size_t max_profiles) {
+  const std::size_t devices = problem.num_devices();
+  double space = 1.0;
+  for (std::size_t i = 0; i < devices; ++i) {
+    space *= static_cast<double>(problem.options(i).size());
+  }
+  EOTORA_REQUIRE_MSG(space <= static_cast<double>(max_profiles),
+                     "search space of " << space << " profiles exceeds cap "
+                                        << max_profiles);
+
+  Profile z(devices, 0);
+  LoadTracker tracker(problem, z);
+  SolveResult best;
+  best.profile = z;
+  best.cost = tracker.total_cost();
+  best.optimal = true;
+  best.iterations = 1;
+
+  // Odometer enumeration with incremental load updates.
+  while (true) {
+    std::size_t level = 0;
+    while (level < devices) {
+      const std::size_t next = z[level] + 1;
+      if (next < problem.options(level).size()) {
+        z[level] = next;
+        tracker.move(level, next);
+        break;
+      }
+      z[level] = 0;
+      tracker.move(level, 0);
+      ++level;
+    }
+    if (level == devices) break;  // odometer wrapped: done
+    const double cost = tracker.total_cost();
+    ++best.iterations;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.profile = z;
+    }
+  }
+  best.lower_bound = best.cost;
+  return best;
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,15 @@
+// Exhaustive search over all strategy profiles. Exponential — usable only on
+// tiny instances; serves as the ground-truth oracle for solver tests.
+#pragma once
+
+#include "core/solve_result.h"
+#include "core/wcg.h"
+
+namespace eotora::core {
+
+// Enumerates every profile. Throws std::invalid_argument when the search
+// space exceeds `max_profiles` (guards against accidental blow-ups in tests).
+[[nodiscard]] SolveResult brute_force(const WcgProblem& problem,
+                                      std::size_t max_profiles = 50'000'000);
+
+}  // namespace eotora::core

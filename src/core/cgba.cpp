@@ -1,0 +1,81 @@
+#include "core/cgba.h"
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+SolveResult cgba(const WcgProblem& problem, const CgbaConfig& config,
+                 util::Rng& rng) {
+  return cgba_from(problem, config, problem.random_profile(rng));
+}
+
+SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
+                      Profile initial) {
+  EOTORA_REQUIRE_MSG(config.lambda >= 0.0 && config.lambda < 0.125,
+                     "lambda=" << config.lambda);
+  EOTORA_REQUIRE(config.max_moves > 0);
+  LoadTracker tracker(problem, std::move(initial));
+
+  SolveResult result;
+  result.converged = false;
+  const std::size_t devices = problem.num_devices();
+
+  if (config.selection == CgbaSelection::kRoundRobin) {
+    // Sweep players in index order until one full pass makes no move.
+    bool any_moved = true;
+    while (any_moved && result.iterations < config.max_moves) {
+      any_moved = false;
+      for (std::size_t i = 0; i < devices; ++i) {
+        const double current = tracker.player_cost(i);
+        const LoadTracker::BestResponse br = tracker.best_response(i);
+        const double threshold =
+            (1.0 - config.lambda) * current - config.rel_epsilon * current;
+        if (br.cost < threshold) {
+          tracker.move(i, br.option_index);
+          ++result.iterations;
+          any_moved = true;
+          if (result.iterations >= config.max_moves) break;
+        }
+      }
+    }
+    result.converged = !any_moved;
+    result.profile = tracker.profile();
+    result.cost = tracker.total_cost();
+    return result;
+  }
+
+  for (std::size_t moves = 0; moves < config.max_moves; ++moves) {
+    // Line 3 of Algorithm 3: the player with the largest improvement.
+    std::size_t best_device = devices;  // sentinel: nobody wants to move
+    std::size_t best_option = 0;
+    double best_gap = 0.0;
+    for (std::size_t i = 0; i < devices; ++i) {
+      const double current = tracker.player_cost(i);
+      const LoadTracker::BestResponse br = tracker.best_response(i);
+      // Termination test (line 2): move only when
+      // (1 - λ) * T_i  >  min_z T_i, with a relative floor against FP noise.
+      const double threshold =
+          (1.0 - config.lambda) * current - config.rel_epsilon * current;
+      if (br.cost >= threshold) continue;
+      const double gap = current - br.cost;
+      if (gap > best_gap) {
+        best_gap = gap;
+        best_device = i;
+        best_option = br.option_index;
+      }
+    }
+    if (best_device == devices) {
+      result.converged = true;
+      break;
+    }
+    tracker.move(best_device, best_option);
+    ++result.iterations;
+  }
+  // If the cap was hit without reaching equilibrium we still return the best
+  // profile found; callers can inspect `converged`.
+  result.profile = tracker.profile();
+  result.cost = tracker.total_cost();
+  return result;
+}
+
+}  // namespace eotora::core

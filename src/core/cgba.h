@@ -1,0 +1,48 @@
+// CGBA — Congestion Game-Based Algorithm for P2-A (paper Algorithm 3).
+//
+// Best-response dynamics on the weighted congestion game: while some player
+// can improve its cost by more than a factor (1 - λ), let the player with the
+// LARGEST absolute improvement move to its best response. Because the game
+// admits an exact potential (see wcg.h), every move strictly decreases the
+// potential and the dynamics terminate; Theorem 2 gives the
+// 2.62 / (1 - 8λ) approximation factor for λ in (0, 0.125), and λ = 0
+// converges to a Nash equilibrium with factor 2.62.
+#pragma once
+
+#include <optional>
+
+#include "core/solve_result.h"
+#include "core/wcg.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+
+// Which improving player moves next. Algorithm 3 (line 3) picks the player
+// with the largest absolute improvement; round-robin sweeps players in index
+// order and is cheaper per move (no global argmax) — both converge because
+// the potential decreases either way.
+enum class CgbaSelection { kMaxGap, kRoundRobin };
+
+struct CgbaConfig {
+  // λ in [0, 0.125): relative improvement threshold. Larger λ terminates
+  // earlier at the price of a looser approximation factor.
+  double lambda = 0.0;
+  CgbaSelection selection = CgbaSelection::kMaxGap;
+  // Safety cap on best-response moves; the dynamics terminate well before
+  // this on every realistic instance (Theorem 2 bounds the count).
+  std::size_t max_moves = 200000;
+  // Absolute floor that protects λ = 0 from floating-point livelock: a move
+  // must improve the player's cost by more than rel_epsilon * player_cost.
+  double rel_epsilon = 1e-12;
+};
+
+// Runs CGBA from a uniformly random initial profile.
+[[nodiscard]] SolveResult cgba(const WcgProblem& problem,
+                               const CgbaConfig& config, util::Rng& rng);
+
+// Runs CGBA from a caller-supplied initial profile (used by BDMA to warm
+// start successive iterations).
+[[nodiscard]] SolveResult cgba_from(const WcgProblem& problem,
+                                    const CgbaConfig& config, Profile initial);
+
+}  // namespace eotora::core

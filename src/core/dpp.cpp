@@ -1,0 +1,39 @@
+#include "core/dpp.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+DppController::DppController(const Instance& instance, DppConfig config)
+    : instance_(&instance), config_(config), queue_(config.initial_queue) {
+  EOTORA_REQUIRE_MSG(config.v > 0.0, "V=" << config.v);
+  EOTORA_REQUIRE_MSG(config.initial_queue >= 0.0,
+                     "Q(1)=" << config.initial_queue);
+}
+
+DppSlotResult DppController::step(const SlotState& state, util::Rng& rng) {
+  DppSlotResult result;
+  result.queue_before = queue_;
+
+  const BdmaResult solution =
+      bdma(*instance_, state, config_.v, queue_, config_.bdma, rng);
+
+  result.decision.assignment = solution.assignment;
+  result.decision.frequencies = solution.frequencies;
+  result.decision.allocation =
+      optimal_allocation(*instance_, state, solution.assignment);
+  result.latency = solution.latency;
+  result.theta = solution.theta;
+  result.energy_cost = solution.theta + instance_->budget_per_slot();
+  result.objective = solution.objective;
+  result.p2a_iterations = solution.p2a_iterations;
+
+  // Eq. (21): queue update.
+  queue_ = std::max(queue_ + solution.theta, 0.0);
+  result.queue_after = queue_;
+  return result;
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,55 @@
+// DPP — the Drift-Plus-Penalty online controller (paper Algorithm 1).
+//
+// Maintains the virtual queue Q(t) that tracks cumulative budget violation:
+//   Q(t+1) = max{Q(t) + Θ(Ω_t, p_t), 0}            (Eq. (21))
+// and at each slot solves P2 (via BDMA) with penalty weight V. Larger V
+// favors latency over budget compliance (Theorem 4: latency gap ~ B·D/V,
+// backlog grows with V).
+#pragma once
+
+#include "core/bdma.h"
+#include "core/instance.h"
+#include "core/lemma1.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+
+struct DppConfig {
+  double v = 100.0;           // the Lyapunov penalty weight V
+  double initial_queue = 0.0; // Q(1)
+  BdmaConfig bdma;
+};
+
+// Everything a slot produced, for metrics and tests.
+struct DppSlotResult {
+  Decision decision;          // (x, y, Ψ*, Φ*, Ω)
+  double latency = 0.0;       // T_t (== L_t at the Lemma-1 allocation)
+  double energy_cost = 0.0;   // C_t in dollars
+  double theta = 0.0;         // C_t - C̄
+  double queue_before = 0.0;  // Q(t)
+  double queue_after = 0.0;   // Q(t+1)
+  double objective = 0.0;     // V·T_t + Q(t)·Θ
+  std::size_t p2a_iterations = 0;
+};
+
+class DppController {
+ public:
+  // `instance` must outlive the controller.
+  DppController(const Instance& instance, DppConfig config);
+
+  // Runs one slot: observe β_t, call BDMA, derive the Lemma-1 allocation,
+  // update the queue. Deterministic given the rng stream.
+  DppSlotResult step(const SlotState& state, util::Rng& rng);
+
+  [[nodiscard]] double queue() const { return queue_; }
+  [[nodiscard]] const DppConfig& config() const { return config_; }
+
+  void reset(double queue = 0.0) { queue_ = queue; }
+
+ private:
+  const Instance* instance_;
+  DppConfig config_;
+  double queue_;
+};
+
+}  // namespace eotora::core

@@ -1,0 +1,92 @@
+#include "core/instance.h"
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+Instance::Instance(std::shared_ptr<const topology::Topology> topology,
+                   SuitabilityMatrix sigma, double budget_per_slot,
+                   double slot_hours)
+    : topology_(std::move(topology)),
+      sigma_(std::move(sigma)),
+      budget_per_slot_(budget_per_slot),
+      slot_hours_(slot_hours) {
+  EOTORA_REQUIRE(topology_ != nullptr);
+  EOTORA_REQUIRE_MSG(budget_per_slot_ > 0.0,
+                     "budget=" << budget_per_slot_);
+  EOTORA_REQUIRE_MSG(slot_hours_ > 0.0, "slot_hours=" << slot_hours_);
+  EOTORA_REQUIRE_MSG(sigma_.size() == topology_->num_devices(),
+                     "sigma rows=" << sigma_.size() << " devices="
+                                   << topology_->num_devices());
+  for (std::size_t i = 0; i < sigma_.size(); ++i) {
+    EOTORA_REQUIRE_MSG(sigma_[i].size() == topology_->num_servers(),
+                       "sigma row " << i << " has " << sigma_[i].size()
+                                    << " entries");
+    for (double s : sigma_[i]) {
+      EOTORA_REQUIRE_MSG(s > 0.0 && s <= 1.0, "sigma=" << s);
+    }
+  }
+}
+
+double Instance::suitability(std::size_t device, std::size_t server) const {
+  EOTORA_REQUIRE(device < sigma_.size());
+  EOTORA_REQUIRE(server < sigma_[device].size());
+  return sigma_[device][server];
+}
+
+double Instance::server_cost(std::size_t server, double ghz,
+                             double price_per_mwh) const {
+  EOTORA_REQUIRE(server < num_servers());
+  const auto& s = topology_->server(topology::ServerId{server});
+  return price_per_mwh * s.power_watts(ghz) * slot_hours_ / 1e6;
+}
+
+double Instance::energy_cost(const Frequencies& freq,
+                             double price_per_mwh) const {
+  EOTORA_REQUIRE_MSG(freq.size() == num_servers(),
+                     "freq entries=" << freq.size());
+  double cost = 0.0;
+  for (std::size_t n = 0; n < freq.size(); ++n) {
+    cost += server_cost(n, freq[n], price_per_mwh);
+  }
+  return cost;
+}
+
+Frequencies Instance::min_frequencies() const {
+  Frequencies freq;
+  freq.reserve(num_servers());
+  for (const auto& s : topology_->servers()) freq.push_back(s.freq_min_ghz);
+  return freq;
+}
+
+Frequencies Instance::max_frequencies() const {
+  Frequencies freq;
+  freq.reserve(num_servers());
+  for (const auto& s : topology_->servers()) freq.push_back(s.freq_max_ghz);
+  return freq;
+}
+
+SuitabilityMatrix Instance::random_sigma(std::size_t devices,
+                                         std::size_t servers, util::Rng& rng,
+                                         double lo, double hi) {
+  EOTORA_REQUIRE(lo > 0.0 && lo <= hi && hi <= 1.0);
+  SuitabilityMatrix sigma(devices, std::vector<double>(servers, 0.0));
+  for (auto& row : sigma) {
+    for (double& s : row) s = rng.uniform(lo, hi);
+  }
+  return sigma;
+}
+
+bool Instance::frequencies_feasible(const Frequencies& freq) const {
+  if (freq.size() != num_servers()) return false;
+  for (std::size_t n = 0; n < freq.size(); ++n) {
+    const auto& s = topology_->server(topology::ServerId{n});
+    // Tiny tolerance so solver round-off at the interval ends still counts.
+    if (freq[n] < s.freq_min_ghz - 1e-12 || freq[n] > s.freq_max_ghz + 1e-12) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,82 @@
+// The per-scenario problem data that does not change from slot to slot:
+// the network, the suitability matrix, the energy budget, and slot timing.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+
+class Instance {
+ public:
+  // `sigma[i][n]` must be in (0, 1] for every device/server pair.
+  // `budget_per_slot` is C̄ (dollars); `slot_hours` converts server power to
+  // per-slot energy. Throws std::invalid_argument on shape/range errors.
+  Instance(std::shared_ptr<const topology::Topology> topology,
+           SuitabilityMatrix sigma, double budget_per_slot,
+           double slot_hours = 1.0);
+
+  [[nodiscard]] const topology::Topology& topology() const {
+    return *topology_;
+  }
+  [[nodiscard]] std::shared_ptr<const topology::Topology> topology_ptr()
+      const {
+    return topology_;
+  }
+  [[nodiscard]] const SuitabilityMatrix& sigma() const { return sigma_; }
+  [[nodiscard]] double suitability(std::size_t device,
+                                   std::size_t server) const;
+  [[nodiscard]] double budget_per_slot() const { return budget_per_slot_; }
+  [[nodiscard]] double slot_hours() const { return slot_hours_; }
+
+  [[nodiscard]] std::size_t num_devices() const {
+    return topology_->num_devices();
+  }
+  [[nodiscard]] std::size_t num_servers() const {
+    return topology_->num_servers();
+  }
+  [[nodiscard]] std::size_t num_base_stations() const {
+    return topology_->num_base_stations();
+  }
+
+  // Per-slot energy cost in dollars of running server n at `ghz` under
+  // electricity price `price_per_mwh`:  price * watts * hours / 1e6.
+  [[nodiscard]] double server_cost(std::size_t server, double ghz,
+                                   double price_per_mwh) const;
+
+  // Total energy cost C_t(Ω, p) across all servers (Eq. (13), priced).
+  [[nodiscard]] double energy_cost(const Frequencies& freq,
+                                   double price_per_mwh) const;
+
+  // Θ(Ω, p) = C_t - C̄ (Eq. (14) integrand).
+  [[nodiscard]] double theta(const Frequencies& freq,
+                             double price_per_mwh) const {
+    return energy_cost(freq, price_per_mwh) - budget_per_slot_;
+  }
+
+  // Lowest / highest feasible frequency vectors (Ω^L, Ω^U).
+  [[nodiscard]] Frequencies min_frequencies() const;
+  [[nodiscard]] Frequencies max_frequencies() const;
+
+  // Uniform random suitability matrix in [lo, hi] (paper: [0.5, 1]).
+  [[nodiscard]] static SuitabilityMatrix random_sigma(std::size_t devices,
+                                                      std::size_t servers,
+                                                      util::Rng& rng,
+                                                      double lo = 0.5,
+                                                      double hi = 1.0);
+
+  // Checks a frequency vector is within every server's [F^L, F^U].
+  [[nodiscard]] bool frequencies_feasible(const Frequencies& freq) const;
+
+ private:
+  std::shared_ptr<const topology::Topology> topology_;
+  SuitabilityMatrix sigma_;
+  double budget_per_slot_;
+  double slot_hours_;
+};
+
+}  // namespace eotora::core

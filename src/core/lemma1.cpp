@@ -1,0 +1,71 @@
+#include "core/lemma1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+ResourceAllocation optimal_allocation(const Instance& instance,
+                                      const SlotState& state,
+                                      const Assignment& assignment) {
+  const auto& topo = instance.topology();
+  const std::size_t devices = topo.num_devices();
+  EOTORA_REQUIRE(assignment.bs_of.size() == devices);
+  EOTORA_REQUIRE(assignment.server_of.size() == devices);
+  EOTORA_REQUIRE(state.task_cycles.size() == devices);
+  EOTORA_REQUIRE(state.data_bits.size() == devices);
+
+  // Per-resource denominators: Σ_j sqrt(c_j) over the devices sharing it.
+  std::vector<double> server_denominator(topo.num_servers(), 0.0);
+  std::vector<double> access_denominator(topo.num_base_stations(), 0.0);
+  std::vector<double> fronthaul_denominator(topo.num_base_stations(), 0.0);
+
+  std::vector<double> sqrt_compute(devices, 0.0);
+  std::vector<double> sqrt_access(devices, 0.0);
+  std::vector<double> sqrt_fronthaul(devices, 0.0);
+
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::size_t k = assignment.bs_of[i];
+    const std::size_t n = assignment.server_of[i];
+    EOTORA_REQUIRE_MSG(k < topo.num_base_stations(),
+                       "device " << i << " bs=" << k);
+    EOTORA_REQUIRE_MSG(n < topo.num_servers(), "device " << i << " server="
+                                                         << n);
+    const double h = state.channel[i][k];
+    EOTORA_REQUIRE_MSG(h > 0.0, "device " << i << " selected base station "
+                                          << k << " with unusable channel");
+    const auto& reachable =
+        topo.reachable_servers(topology::BaseStationId{k});
+    EOTORA_REQUIRE_MSG(
+        std::binary_search(reachable.begin(), reachable.end(),
+                           topology::ServerId{n}),
+        "device " << i << ": server " << n
+                  << " is not reachable from base station " << k);
+    const auto& bs = topo.base_station(topology::BaseStationId{k});
+    sqrt_compute[i] =
+        std::sqrt(state.task_cycles[i] / instance.suitability(i, n));
+    sqrt_access[i] = std::sqrt(state.data_bits[i] / h);
+    sqrt_fronthaul[i] =
+        std::sqrt(state.data_bits[i] / bs.fronthaul_spectral_efficiency);
+    server_denominator[n] += sqrt_compute[i];
+    access_denominator[k] += sqrt_access[i];
+    fronthaul_denominator[k] += sqrt_fronthaul[i];
+  }
+
+  ResourceAllocation alloc;
+  alloc.phi.resize(devices);
+  alloc.psi_access.resize(devices);
+  alloc.psi_fronthaul.resize(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::size_t k = assignment.bs_of[i];
+    const std::size_t n = assignment.server_of[i];
+    alloc.phi[i] = sqrt_compute[i] / server_denominator[n];
+    alloc.psi_access[i] = sqrt_access[i] / access_denominator[k];
+    alloc.psi_fronthaul[i] = sqrt_fronthaul[i] / fronthaul_denominator[k];
+  }
+  return alloc;
+}
+
+}  // namespace eotora::core

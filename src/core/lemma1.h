@@ -1,0 +1,24 @@
+// Closed-form optimal resource allocation (paper Lemma 1).
+//
+// Given the binary decisions (x, y) the REAL problem separates per resource
+// into  min Σ c_i / φ_i  s.t. Σ φ_i <= 1, whose KKT solution is square-root
+// proportional sharing:
+//   φ*_{i,n}   = sqrt(f_i/σ_{i,n}) / Σ_{j∈I_n} sqrt(f_j/σ_{j,n})
+//   ψ^A*_{i,k} = sqrt(d_i/h_{i,k}) / Σ_{j∈I_k} sqrt(d_j/h_{j,k})
+//   ψ^F*_{i,k} = sqrt(d_i/h^F_k)   / Σ_{j∈I_k} sqrt(d_j/h^F_k)
+// Devices alone on a resource get the whole share (1.0).
+#pragma once
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace eotora::core {
+
+// Computes (Φ*, Ψ*) for the given assignment. Requires the assignment to be
+// feasible for the state (covered BS with h > 0, server reachable from the
+// BS); throws std::invalid_argument otherwise.
+[[nodiscard]] ResourceAllocation optimal_allocation(const Instance& instance,
+                                                    const SlotState& state,
+                                                    const Assignment& assignment);
+
+}  // namespace eotora::core

@@ -1,0 +1,30 @@
+#include "core/lyapunov.h"
+
+#include <algorithm>
+
+namespace eotora::core {
+
+LyapunovRecord LyapunovAnalyzer::record(const DppSlotResult& slot) {
+  LyapunovRecord rec;
+  rec.drift = 0.5 * (slot.queue_after * slot.queue_after -
+                     slot.queue_before * slot.queue_before);
+  rec.drift_bound =
+      0.5 * slot.theta * slot.theta + slot.queue_before * slot.theta;
+  rec.penalty = v_ * slot.latency;
+  rec.clipped = slot.queue_before + slot.theta < 0.0;
+
+  if (!seen_first_) {
+    first_queue_ = slot.queue_before;
+    seen_first_ = true;
+  }
+  last_queue_ = slot.queue_after;
+  ++slots_;
+  const double half_theta_sq = 0.5 * slot.theta * slot.theta;
+  b_max_ = std::max(b_max_, half_theta_sq);
+  b_sum_ += half_theta_sq;
+  drift_sum_ += rec.drift;
+  penalty_sum_ += rec.penalty;
+  return rec;
+}
+
+}  // namespace eotora::core

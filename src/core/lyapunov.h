@@ -1,0 +1,71 @@
+// Online instrumentation of the drift-plus-penalty analysis (Theorem 4).
+//
+// With L(t) = ½Q(t)² the per-slot Lyapunov drift under update (21) obeys
+//   Δ(t) = ½Q(t+1)² − ½Q(t)²  <=  ½θ(t)² + Q(t)·θ(t)
+// (equality whenever the max{·,0} does not clip). Theorem 4's constant B is
+// a bound on E[½θ(t)²]; the latency guarantee degrades by B·D/V. The
+// analyzer tracks the empirical counterparts so a user can SEE how tight the
+// theorem is on their workload: B̂ (max and mean ½θ²), the telescoped drift,
+// and the running drift-plus-penalty average.
+#pragma once
+
+#include <cstddef>
+
+#include "core/dpp.h"
+
+namespace eotora::core {
+
+struct LyapunovRecord {
+  double drift = 0.0;        // Δ(t) = ½Q(t+1)² − ½Q(t)²
+  double drift_bound = 0.0;  // ½θ(t)² + Q(t)·θ(t)
+  double penalty = 0.0;      // V·T_t
+  bool clipped = false;      // whether max{Q+θ, 0} clipped at zero
+};
+
+class LyapunovAnalyzer {
+ public:
+  explicit LyapunovAnalyzer(double v) : v_(v) {}
+
+  // Feed every DPP slot result in order; returns the slot's record.
+  LyapunovRecord record(const DppSlotResult& slot);
+
+  [[nodiscard]] std::size_t slots() const { return slots_; }
+  // Empirical B: max and mean of ½θ(t)² seen so far.
+  [[nodiscard]] double b_max() const { return b_max_; }
+  [[nodiscard]] double b_mean() const {
+    return slots_ == 0 ? 0.0 : b_sum_ / static_cast<double>(slots_);
+  }
+  // Time-average drift-plus-penalty (the quantity DPP per-slot minimizes an
+  // upper bound of).
+  [[nodiscard]] double average_drift_plus_penalty() const {
+    return slots_ == 0 ? 0.0
+                       : (drift_sum_ + penalty_sum_) /
+                             static_cast<double>(slots_);
+  }
+  [[nodiscard]] double average_penalty() const {
+    return slots_ == 0 ? 0.0 : penalty_sum_ / static_cast<double>(slots_);
+  }
+  // Telescoped drift ½Q(T)² − ½Q(0)² (should equal the drift sum exactly).
+  [[nodiscard]] double telescoped_drift() const {
+    return 0.5 * (last_queue_ * last_queue_ -
+                  first_queue_ * first_queue_);
+  }
+  [[nodiscard]] double drift_sum() const { return drift_sum_; }
+  // The Theorem-4 latency-gap term, B̂·D/V, for a given period D.
+  [[nodiscard]] double theorem4_gap(double period) const {
+    return b_mean() * period / v_;
+  }
+
+ private:
+  double v_;
+  std::size_t slots_ = 0;
+  double b_max_ = 0.0;
+  double b_sum_ = 0.0;
+  double drift_sum_ = 0.0;
+  double penalty_sum_ = 0.0;
+  double first_queue_ = 0.0;
+  double last_queue_ = 0.0;
+  bool seen_first_ = false;
+};
+
+}  // namespace eotora::core

@@ -1,0 +1,60 @@
+#include "core/mcba.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+SolveResult mcba(const WcgProblem& problem, const McbaConfig& config,
+                 util::Rng& rng) {
+  EOTORA_REQUIRE(config.iterations > 0);
+  EOTORA_REQUIRE(config.initial_temperature_fraction > 0.0);
+  EOTORA_REQUIRE(config.final_temperature_fraction > 0.0);
+  EOTORA_REQUIRE(config.final_temperature_fraction <=
+                 config.initial_temperature_fraction);
+
+  LoadTracker tracker(problem, problem.random_profile(rng));
+  double current_cost = tracker.total_cost();
+
+  SolveResult best;
+  best.profile = tracker.profile();
+  best.cost = current_cost;
+
+  const double t0 = config.initial_temperature_fraction * current_cost;
+  const double t1 = config.final_temperature_fraction * current_cost;
+  const double cooling =
+      config.iterations > 1
+          ? std::pow(t1 / t0, 1.0 / static_cast<double>(config.iterations - 1))
+          : 1.0;
+  double temperature = t0;
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const std::size_t device = rng.index(problem.num_devices());
+    const std::size_t option = rng.index(problem.options(device).size());
+    const std::size_t previous = tracker.profile()[device];
+    if (option != previous) {
+      tracker.move(device, option);
+      const double proposed_cost = tracker.total_cost();
+      const double delta = proposed_cost - current_cost;
+      const bool accept =
+          delta <= 0.0 ||
+          (temperature > 0.0 && rng.uniform(0.0, 1.0) <
+                                    std::exp(-delta / temperature));
+      if (accept) {
+        current_cost = proposed_cost;
+        if (current_cost < best.cost) {
+          best.cost = current_cost;
+          best.profile = tracker.profile();
+        }
+      } else {
+        tracker.move(device, previous);  // reject: undo
+      }
+    }
+    temperature *= cooling;
+    ++best.iterations;
+  }
+  return best;
+}
+
+}  // namespace eotora::core

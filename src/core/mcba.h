@@ -1,0 +1,28 @@
+// MCBA — Markov chain Monte Carlo-Based Algorithm, the baseline of [36]
+// (Ma et al., INFOCOM 2020) as described in the paper §VI-B:
+// "a probabilistic algorithm that randomly moves between neighboring
+// decisions with a probability related to the objective values of the
+// decisions". We implement it as Metropolis sampling with geometric cooling:
+// propose a random single-device reassignment, always accept improvements,
+// accept a worsening of Δ with probability exp(-Δ / temperature).
+#pragma once
+
+#include "core/solve_result.h"
+#include "core/wcg.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+
+struct McbaConfig {
+  std::size_t iterations = 20000;
+  // Initial temperature as a fraction of the initial social cost; geometric
+  // cooling reaches `final_temperature_fraction` at the last iteration.
+  double initial_temperature_fraction = 0.1;
+  double final_temperature_fraction = 1e-4;
+};
+
+// Runs the chain from a random profile and returns the best profile visited.
+[[nodiscard]] SolveResult mcba(const WcgProblem& problem,
+                               const McbaConfig& config, util::Rng& rng);
+
+}  // namespace eotora::core

@@ -1,0 +1,22 @@
+#include "core/metrics.h"
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+void MetricsCollector::record(const DppSlotResult& slot) {
+  latency_.add(slot.latency);
+  cost_.add(slot.energy_cost);
+  queue_.add(slot.queue_after);
+  theta_.add(slot.theta);
+  latency_series_.push_back(slot.latency);
+  queue_series_.push_back(slot.queue_after);
+  cost_series_.push_back(slot.energy_cost);
+}
+
+double MetricsCollector::latency_percentile(double q) const {
+  EOTORA_REQUIRE(!latency_series_.empty());
+  return util::percentile(latency_series_, q);
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,49 @@
+// Aggregation of per-slot results into the time-averaged quantities the
+// paper reports (time-average latency, energy cost, queue backlog).
+#pragma once
+
+#include <vector>
+
+#include "core/dpp.h"
+#include "util/stats.h"
+
+namespace eotora::core {
+
+class MetricsCollector {
+ public:
+  void record(const DppSlotResult& slot);
+
+  [[nodiscard]] std::size_t slots() const { return latency_.count(); }
+  [[nodiscard]] double average_latency() const { return latency_.mean(); }
+  [[nodiscard]] double average_energy_cost() const { return cost_.mean(); }
+  [[nodiscard]] double average_queue() const { return queue_.mean(); }
+  [[nodiscard]] double max_queue() const { return queue_.max(); }
+  [[nodiscard]] double average_theta() const { return theta_.mean(); }
+  [[nodiscard]] double max_latency() const { return latency_.max(); }
+
+  // Per-slot latency percentile over the recorded series (q in [0, 100]).
+  // Requires at least one recorded slot.
+  [[nodiscard]] double latency_percentile(double q) const;
+
+  // Raw per-slot series for plotting-style benches.
+  [[nodiscard]] const std::vector<double>& latency_series() const {
+    return latency_series_;
+  }
+  [[nodiscard]] const std::vector<double>& queue_series() const {
+    return queue_series_;
+  }
+  [[nodiscard]] const std::vector<double>& cost_series() const {
+    return cost_series_;
+  }
+
+ private:
+  util::RunningStats latency_;
+  util::RunningStats cost_;
+  util::RunningStats queue_;
+  util::RunningStats theta_;
+  std::vector<double> latency_series_;
+  std::vector<double> queue_series_;
+  std::vector<double> cost_series_;
+};
+
+}  // namespace eotora::core

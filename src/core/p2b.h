@@ -1,0 +1,37 @@
+// P2-B — optimal clock frequencies for a fixed assignment (paper §V-A).
+//
+// The objective  V·T_t(x̄, ȳ, Ω, β) + Q·Θ(Ω, p)  separates over servers:
+//   min_{ω ∈ [F^L_n, F^U_n]}  V·A_n / (cores_n ω 1e9)
+//                             + Q·p·watts_n(ω)·slot_h/1e6
+// with A_n = (Σ_{i on n} sqrt(f_i/σ_{i,n}))². Each piece is convex (1/ω plus
+// a convex energy model), so a derivative bisection solves it to tolerance —
+// this replaces the paper's CVX call.
+#pragma once
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace eotora::core {
+
+struct P2bResult {
+  Frequencies frequencies;
+  // Full drift-plus-penalty objective f(x, y, Ω) = V·T_t + Q·Θ at the
+  // optimal frequencies (includes the frequency-independent communication
+  // latency and the -Q·C̄ term).
+  double objective = 0.0;
+};
+
+// Solves P2-B for the given assignment. Requires V >= 0, Q >= 0.
+[[nodiscard]] P2bResult solve_p2b(const Instance& instance,
+                                  const SlotState& state,
+                                  const Assignment& assignment, double v,
+                                  double q, double tolerance = 1e-7);
+
+// f(x, y, Ω) = V·T_t(x, y, Ω, β) + Q·Θ(Ω, p) — the P2 objective (paper §V).
+[[nodiscard]] double dpp_objective(const Instance& instance,
+                                   const SlotState& state,
+                                   const Assignment& assignment,
+                                   const Frequencies& frequencies, double v,
+                                   double q);
+
+}  // namespace eotora::core

@@ -1,0 +1,76 @@
+#include "core/p2b_discrete.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+FrequencyStates uniform_frequency_states(const Instance& instance,
+                                         std::size_t count) {
+  EOTORA_REQUIRE(count >= 1);
+  FrequencyStates states(instance.num_servers());
+  const auto lo = instance.min_frequencies();
+  const auto hi = instance.max_frequencies();
+  for (std::size_t n = 0; n < states.size(); ++n) {
+    if (count == 1) {
+      states[n] = {lo[n]};
+      continue;
+    }
+    states[n].reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      const double frac =
+          static_cast<double>(s) / static_cast<double>(count - 1);
+      states[n].push_back(lo[n] + frac * (hi[n] - lo[n]));
+    }
+  }
+  return states;
+}
+
+P2bResult solve_p2b_discrete(const Instance& instance, const SlotState& state,
+                             const Assignment& assignment, double v, double q,
+                             const FrequencyStates& states) {
+  EOTORA_REQUIRE_MSG(v >= 0.0, "V=" << v);
+  EOTORA_REQUIRE_MSG(q >= 0.0, "Q=" << q);
+  const auto& topo = instance.topology();
+  EOTORA_REQUIRE(states.size() == topo.num_servers());
+  const std::size_t devices = instance.num_devices();
+  EOTORA_REQUIRE(assignment.server_of.size() == devices);
+
+  std::vector<double> load(topo.num_servers(), 0.0);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::size_t n = assignment.server_of[i];
+    EOTORA_REQUIRE(n < topo.num_servers());
+    load[n] += std::sqrt(state.task_cycles[i] / instance.suitability(i, n));
+  }
+
+  P2bResult result;
+  result.frequencies.resize(topo.num_servers());
+  const double price = state.price_per_mwh;
+  for (std::size_t n = 0; n < topo.num_servers(); ++n) {
+    const auto& server = topo.server(topology::ServerId{n});
+    EOTORA_REQUIRE_MSG(!states[n].empty(), "server " << n
+                                                     << " has no states");
+    const double a_n = load[n] * load[n];
+    double best_value = std::numeric_limits<double>::infinity();
+    double best_w = states[n].front();
+    for (double w : states[n]) {
+      EOTORA_REQUIRE_MSG(
+          w >= server.freq_min_ghz - 1e-12 && w <= server.freq_max_ghz + 1e-12,
+          "state " << w << " outside server " << n << "'s range");
+      const double value = v * a_n / server.capacity_hz(w) +
+                           q * instance.server_cost(n, w, price);
+      if (value < best_value) {
+        best_value = value;
+        best_w = w;
+      }
+    }
+    result.frequencies[n] = best_w;
+  }
+  result.objective =
+      dpp_objective(instance, state, assignment, result.frequencies, v, q);
+  return result;
+}
+
+}  // namespace eotora::core

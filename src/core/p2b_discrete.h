@@ -1,0 +1,36 @@
+// P2-B over DISCRETE frequency states (DVFS P-states).
+//
+// The paper optimizes ω over the continuous interval [F^L, F^U]; real CPUs
+// expose a finite list of P-states. Because the P2 objective is separable
+// per server (see p2b.h), the discrete problem is solved exactly by
+// evaluating each server's candidate states — no combinatorics across
+// servers. The continuous optimum lower-bounds the discrete one; the bench
+// `ablation_dvfs` measures the quantization loss.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/p2b.h"
+#include "core/types.h"
+
+namespace eotora::core {
+
+// Per-server candidate frequency lists. states[n] must be non-empty and
+// every entry within server n's [F^L, F^U].
+using FrequencyStates = std::vector<std::vector<double>>;
+
+// Uniform grids of `count` states spanning each server's feasible range
+// (count >= 2 gives both endpoints; count == 1 gives F^L).
+[[nodiscard]] FrequencyStates uniform_frequency_states(
+    const Instance& instance, std::size_t count);
+
+// Exact discrete P2-B: per server, pick the candidate state minimizing
+// V·A_n/capacity + Q·p·cost. Same objective semantics as solve_p2b.
+[[nodiscard]] P2bResult solve_p2b_discrete(const Instance& instance,
+                                           const SlotState& state,
+                                           const Assignment& assignment,
+                                           double v, double q,
+                                           const FrequencyStates& states);
+
+}  // namespace eotora::core

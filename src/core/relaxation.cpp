@@ -1,0 +1,127 @@
+#include "core/relaxation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+namespace {
+
+// Accumulates option weights into per-resource loads.
+std::vector<double> loads_of(const WcgProblem& problem,
+                             const std::vector<std::vector<double>>& w) {
+  std::vector<double> loads(problem.num_resources(), 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const auto& options = problem.options(i);
+    for (std::size_t o = 0; o < options.size(); ++o) {
+      const Option& opt = options[o];
+      loads[opt.r_compute] += w[i][o] * opt.p_compute;
+      loads[opt.r_access] += w[i][o] * opt.p_access;
+      loads[opt.r_fronthaul] += w[i][o] * opt.p_fronthaul;
+    }
+  }
+  return loads;
+}
+
+double value_of(const WcgProblem& problem, const std::vector<double>& loads) {
+  double value = 0.0;
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    value += problem.weight(r) * loads[r] * loads[r];
+  }
+  return value;
+}
+
+}  // namespace
+
+RelaxationResult fractional_lower_bound(const WcgProblem& problem,
+                                        const RelaxationConfig& config) {
+  EOTORA_REQUIRE(config.max_iterations > 0);
+  EOTORA_REQUIRE(config.relative_gap >= 0.0);
+  const std::size_t devices = problem.num_devices();
+
+  RelaxationResult result;
+  // Start uniform over each device's options.
+  result.weights.resize(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    result.weights[i].assign(problem.options(i).size(),
+                             1.0 / problem.options(i).size());
+  }
+
+  std::vector<double> loads = loads_of(problem, result.weights);
+  double value = value_of(problem, loads);
+  result.lower_bound = 0.0;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    ++result.iterations;
+    // Gradient wrt w_{i,o} is 2 Σ_{r in option} m_r P_r p_{i,o,r}. The FW
+    // vertex v picks each device's minimum-gradient option; the gap is
+    // <∇, w - v> = Σ_i (Σ_o w_{i,o} grad_{i,o} - min_o grad_{i,o}).
+    double gap = 0.0;
+    std::vector<std::size_t> vertex(devices, 0);
+    for (std::size_t i = 0; i < devices; ++i) {
+      const auto& options = problem.options(i);
+      double weighted = 0.0;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t o = 0; o < options.size(); ++o) {
+        const Option& opt = options[o];
+        const double grad =
+            2.0 * (problem.weight(opt.r_compute) * loads[opt.r_compute] *
+                       opt.p_compute +
+                   problem.weight(opt.r_access) * loads[opt.r_access] *
+                       opt.p_access +
+                   problem.weight(opt.r_fronthaul) * loads[opt.r_fronthaul] *
+                       opt.p_fronthaul);
+        weighted += result.weights[i][o] * grad;
+        if (grad < best) {
+          best = grad;
+          vertex[i] = o;
+        }
+      }
+      gap += weighted - best;
+    }
+    // Certified lower bound on the relaxed (hence integer) optimum.
+    result.lower_bound = std::max(result.lower_bound, value - gap);
+    if (gap <= config.relative_gap * std::max(value, 1e-300)) break;
+
+    // Direction d = v - w in load space; exact line search on the quadratic
+    // f(w + γ d) = f(w) + γ <∇, d_loads-part> ... easier in load space:
+    // loads(γ) = (1-γ) loads + γ vertex_loads.
+    std::vector<std::vector<double>> vw(devices);
+    for (std::size_t i = 0; i < devices; ++i) {
+      vw[i].assign(problem.options(i).size(), 0.0);
+      vw[i][vertex[i]] = 1.0;
+    }
+    const std::vector<double> vertex_loads = loads_of(problem, vw);
+    // f(γ) = Σ m_r ((1-γ)P_r + γ V_r)² — quadratic aγ² + bγ + c.
+    double a = 0.0;
+    double b = 0.0;
+    for (std::size_t r = 0; r < loads.size(); ++r) {
+      const double d = vertex_loads[r] - loads[r];
+      a += problem.weight(r) * d * d;
+      b += 2.0 * problem.weight(r) * loads[r] * d;
+    }
+    double gamma = 1.0;
+    if (a > 0.0) gamma = std::clamp(-b / (2.0 * a), 0.0, 1.0);
+    if (gamma == 0.0) break;  // stationary along every FW direction
+
+    for (std::size_t i = 0; i < devices; ++i) {
+      for (std::size_t o = 0; o < result.weights[i].size(); ++o) {
+        result.weights[i][o] *= (1.0 - gamma);
+      }
+      result.weights[i][vertex[i]] += gamma;
+    }
+    for (std::size_t r = 0; r < loads.size(); ++r) {
+      loads[r] = (1.0 - gamma) * loads[r] + gamma * vertex_loads[r];
+    }
+    value = value_of(problem, loads);
+  }
+  result.fractional_value = value;
+  // The fractional value itself is an upper bound on the relaxed optimum;
+  // lower_bound <= relaxed optimum <= integer optimum.
+  result.lower_bound = std::min(result.lower_bound, value);
+  return result;
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,37 @@
+// Fractional relaxation of P2-A with a certified lower bound.
+//
+// Relax each device's one-hot option choice to a point in the simplex over
+// its options; the social cost  Σ_r m_r P_r(w)²  is convex in w, so the
+// relaxed optimum lower-bounds the integer optimum. We solve it with
+// Frank-Wolfe (conditional gradient): the linear subproblem separates per
+// device (pick the option with the smallest inner product against the
+// gradient), the exact line search is closed-form because the objective is
+// quadratic along a segment, and the Frank-Wolfe duality gap
+//   g(w) = <∇f(w), w - v(w)>
+// certifies  f(w) - g(w) <= f(w*) <= integer optimum, giving a TRUE lower
+// bound even before convergence. This is how the benches judge solution
+// quality at paper scale, where branch & bound cannot certify optimality.
+#pragma once
+
+#include "core/wcg.h"
+
+namespace eotora::core {
+
+struct RelaxationResult {
+  double fractional_value = 0.0;  // f(w): feasible fractional objective
+  double lower_bound = 0.0;       // f(w) - gap: certified bound on OPT
+  int iterations = 0;
+  // w[i][o]: device i's weight on its option o.
+  std::vector<std::vector<double>> weights;
+};
+
+struct RelaxationConfig {
+  int max_iterations = 500;
+  // Stop when the duality gap falls below this fraction of the value.
+  double relative_gap = 1e-4;
+};
+
+[[nodiscard]] RelaxationResult fractional_lower_bound(
+    const WcgProblem& problem, const RelaxationConfig& config = {});
+
+}  // namespace eotora::core

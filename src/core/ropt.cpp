@@ -1,0 +1,13 @@
+#include "core/ropt.h"
+
+namespace eotora::core {
+
+SolveResult ropt(const WcgProblem& problem, util::Rng& rng) {
+  SolveResult result;
+  result.profile = problem.random_profile(rng);
+  result.cost = problem.total_cost(result.profile);
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,15 @@
+// ROPT baseline (paper §VI-B, after [14]): every device picks a base station
+// and a reachable server uniformly at random; bandwidth and computing
+// resources then use the optimal (Lemma 1) allocation — which the reduced
+// social cost T_t already assumes.
+#pragma once
+
+#include "core/solve_result.h"
+#include "core/wcg.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+
+[[nodiscard]] SolveResult ropt(const WcgProblem& problem, util::Rng& rng);
+
+}  // namespace eotora::core

@@ -1,0 +1,19 @@
+// Common result type for P2-A solvers (CGBA, MCBA, ROPT, B&B, brute force).
+#pragma once
+
+#include <cstddef>
+
+#include "core/wcg.h"
+
+namespace eotora::core {
+
+struct SolveResult {
+  Profile profile;           // chosen strategy per device
+  double cost = 0.0;         // social cost T_t(z) at the solver's frequencies
+  std::size_t iterations = 0;  // solver-specific work counter
+  bool converged = true;     // CGBA: equilibrium reached within the cap
+  bool optimal = false;      // B&B / brute force: optimality certified
+  double lower_bound = 0.0;  // B&B: best proven bound (equals cost if optimal)
+};
+
+}  // namespace eotora::core

@@ -1,0 +1,61 @@
+// Problem-level types shared by all solvers (paper §III).
+//
+// Unit conventions used throughout the core:
+//   task size  f_i   : CPU cycles            (paper: 50-200 megacycles)
+//   data length d_i  : bits                  (paper: 3-10 megabits)
+//   channel h_{i,k}  : bps/Hz; 0 == link unusable (device not covered)
+//   bandwidth W      : Hz
+//   frequency w_n    : GHz (server capacity = cores * w * 1e9 cycles/s)
+//   price p_t        : $/MWh
+//   latency          : seconds (sum over devices, as in Eq. (8)/(11))
+//   energy cost      : dollars per slot
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/channel_model.h"
+
+namespace eotora::core {
+
+// Everything the controller observes at the start of a slot: β_t.
+struct SlotState {
+  std::size_t slot = 0;
+  std::vector<double> task_cycles;      // f_{i,t}, one per device
+  std::vector<double> data_bits;        // d_{i,t}, one per device
+  topology::ChannelMatrix channel;      // h_{i,k,t}, device-major
+  double price_per_mwh = 50.0;          // p_t
+};
+
+// Joint base-station + server selection: x_t and y_t in one struct.
+// bs_of[i] = k and server_of[i] = n encode x_{i,k,t} = y_{i,n,t} = 1.
+struct Assignment {
+  std::vector<std::size_t> bs_of;
+  std::vector<std::size_t> server_of;
+
+  [[nodiscard]] std::size_t num_devices() const { return bs_of.size(); }
+};
+
+// Clock frequencies Ω_t, one entry per server, in GHz.
+using Frequencies = std::vector<double>;
+
+// Lemma-1-style per-device resource shares. phi[i] is device i's share of
+// its selected server; psi_access[i] / psi_fronthaul[i] its shares of the
+// selected base station's access / fronthaul bandwidth.
+struct ResourceAllocation {
+  std::vector<double> phi;
+  std::vector<double> psi_access;
+  std::vector<double> psi_fronthaul;
+};
+
+// The full per-slot decision α_t = (x, y, Ψ, Φ, Ω).
+struct Decision {
+  Assignment assignment;
+  Frequencies frequencies;
+  ResourceAllocation allocation;
+};
+
+// Suitability σ_{i,n} in (0, 1]: sigma[i][n] (device-major).
+using SuitabilityMatrix = std::vector<std::vector<double>>;
+
+}  // namespace eotora::core

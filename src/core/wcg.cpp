@@ -1,0 +1,313 @@
+#include "core/wcg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace eotora::core {
+
+namespace {
+// Resource index layout: [0, N) compute, [N, N+K) access, [N+K, N+2K) fronthaul.
+std::size_t compute_index(std::size_t n) { return n; }
+std::size_t access_index(std::size_t n_servers, std::size_t k) {
+  return n_servers + k;
+}
+std::size_t fronthaul_index(std::size_t n_servers, std::size_t n_bs,
+                            std::size_t k) {
+  return n_servers + n_bs + k;
+}
+}  // namespace
+
+WcgProblem::WcgProblem(const Instance& instance, const SlotState& state,
+                       const Frequencies& frequencies) {
+  const auto& topo = instance.topology();
+  num_servers_ = topo.num_servers();
+  num_base_stations_ = topo.num_base_stations();
+  const std::size_t devices = topo.num_devices();
+
+  EOTORA_REQUIRE_MSG(state.task_cycles.size() == devices,
+                     "task_cycles entries=" << state.task_cycles.size());
+  EOTORA_REQUIRE_MSG(state.data_bits.size() == devices,
+                     "data_bits entries=" << state.data_bits.size());
+  EOTORA_REQUIRE_MSG(state.channel.size() == devices,
+                     "channel rows=" << state.channel.size());
+  for (std::size_t i = 0; i < devices; ++i) {
+    EOTORA_REQUIRE(state.channel[i].size() == num_base_stations_);
+    EOTORA_REQUIRE_MSG(state.task_cycles[i] > 0.0,
+                       "device " << i << " f=" << state.task_cycles[i]);
+    EOTORA_REQUIRE_MSG(state.data_bits[i] > 0.0,
+                       "device " << i << " d=" << state.data_bits[i]);
+  }
+
+  weights_.assign(num_servers_ + 2 * num_base_stations_, 0.0);
+  set_frequencies(instance, frequencies);
+  for (std::size_t k = 0; k < num_base_stations_; ++k) {
+    const auto& bs = topo.base_station(topology::BaseStationId{k});
+    weights_[access_index(num_servers_, k)] = 1.0 / bs.access_bandwidth_hz;
+    weights_[fronthaul_index(num_servers_, num_base_stations_, k)] =
+        1.0 / bs.fronthaul_bandwidth_hz;
+  }
+
+  options_.resize(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    for (std::size_t k = 0; k < num_base_stations_; ++k) {
+      const double h = state.channel[i][k];
+      if (h <= 0.0) continue;  // not covered / unusable link
+      const auto& bs = topo.base_station(topology::BaseStationId{k});
+      const double p_access = std::sqrt(state.data_bits[i] / h);
+      const double p_fronthaul =
+          std::sqrt(state.data_bits[i] / bs.fronthaul_spectral_efficiency);
+      for (topology::ServerId s :
+           topo.reachable_servers(topology::BaseStationId{k})) {
+        Option opt;
+        opt.bs = k;
+        opt.server = s.value;
+        opt.r_compute = compute_index(s.value);
+        opt.r_access = access_index(num_servers_, k);
+        opt.r_fronthaul =
+            fronthaul_index(num_servers_, num_base_stations_, k);
+        opt.p_compute = std::sqrt(state.task_cycles[i] /
+                                  instance.suitability(i, s.value));
+        opt.p_access = p_access;
+        opt.p_fronthaul = p_fronthaul;
+        options_[i].push_back(opt);
+      }
+    }
+    EOTORA_REQUIRE_MSG(!options_[i].empty(),
+                       "device " << i
+                                 << " has no feasible (base station, server) "
+                                    "option at slot "
+                                 << state.slot);
+  }
+}
+
+const std::vector<Option>& WcgProblem::options(std::size_t device) const {
+  EOTORA_REQUIRE(device < options_.size());
+  return options_[device];
+}
+
+double WcgProblem::weight(std::size_t resource) const {
+  EOTORA_REQUIRE(resource < weights_.size());
+  return weights_[resource];
+}
+
+void WcgProblem::set_frequencies(const Instance& instance,
+                                 const Frequencies& frequencies) {
+  EOTORA_REQUIRE_MSG(frequencies.size() == num_servers_,
+                     "frequency entries=" << frequencies.size());
+  EOTORA_REQUIRE_MSG(instance.frequencies_feasible(frequencies),
+                     "frequencies outside [F^L, F^U]");
+  const auto& topo = instance.topology();
+  for (std::size_t n = 0; n < num_servers_; ++n) {
+    const auto& server = topo.server(topology::ServerId{n});
+    weights_[compute_index(n)] = 1.0 / server.capacity_hz(frequencies[n]);
+  }
+}
+
+Profile WcgProblem::random_profile(util::Rng& rng) const {
+  Profile z(options_.size(), 0);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = rng.index(options_[i].size());
+  }
+  return z;
+}
+
+std::vector<double> WcgProblem::loads(const Profile& z) const {
+  EOTORA_REQUIRE(z.size() == options_.size());
+  std::vector<double> p(weights_.size(), 0.0);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    EOTORA_REQUIRE(z[i] < options_[i].size());
+    const Option& opt = options_[i][z[i]];
+    p[opt.r_compute] += opt.p_compute;
+    p[opt.r_access] += opt.p_access;
+    p[opt.r_fronthaul] += opt.p_fronthaul;
+  }
+  return p;
+}
+
+double WcgProblem::total_cost(const Profile& z) const {
+  const auto p = loads(z);
+  double cost = 0.0;
+  for (std::size_t r = 0; r < p.size(); ++r) {
+    cost += weights_[r] * p[r] * p[r];
+  }
+  return cost;
+}
+
+double WcgProblem::player_cost(const Profile& z, std::size_t device) const {
+  EOTORA_REQUIRE(device < options_.size());
+  const auto p = loads(z);
+  const Option& opt = options_[device][z[device]];
+  return weights_[opt.r_compute] * opt.p_compute * p[opt.r_compute] +
+         weights_[opt.r_access] * opt.p_access * p[opt.r_access] +
+         weights_[opt.r_fronthaul] * opt.p_fronthaul * p[opt.r_fronthaul];
+}
+
+double WcgProblem::potential(const Profile& z) const {
+  const auto p = loads(z);
+  std::vector<double> squares(weights_.size(), 0.0);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const Option& opt = options_[i][z[i]];
+    squares[opt.r_compute] += opt.p_compute * opt.p_compute;
+    squares[opt.r_access] += opt.p_access * opt.p_access;
+    squares[opt.r_fronthaul] += opt.p_fronthaul * opt.p_fronthaul;
+  }
+  double phi = 0.0;
+  for (std::size_t r = 0; r < weights_.size(); ++r) {
+    phi += 0.5 * weights_[r] * (p[r] * p[r] + squares[r]);
+  }
+  return phi;
+}
+
+Assignment WcgProblem::to_assignment(const Profile& z) const {
+  EOTORA_REQUIRE(z.size() == options_.size());
+  Assignment a;
+  a.bs_of.resize(z.size());
+  a.server_of.resize(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    EOTORA_REQUIRE(z[i] < options_[i].size());
+    a.bs_of[i] = options_[i][z[i]].bs;
+    a.server_of[i] = options_[i][z[i]].server;
+  }
+  return a;
+}
+
+Profile WcgProblem::to_profile(const Assignment& assignment) const {
+  EOTORA_REQUIRE(assignment.bs_of.size() == options_.size());
+  EOTORA_REQUIRE(assignment.server_of.size() == options_.size());
+  Profile z(options_.size(), 0);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    bool found = false;
+    for (std::size_t o = 0; o < options_[i].size(); ++o) {
+      if (options_[i][o].bs == assignment.bs_of[i] &&
+          options_[i][o].server == assignment.server_of[i]) {
+        z[i] = o;
+        found = true;
+        break;
+      }
+    }
+    EOTORA_REQUIRE_MSG(found, "device " << i << " assignment (bs="
+                                        << assignment.bs_of[i] << ", server="
+                                        << assignment.server_of[i]
+                                        << ") is not a feasible option");
+  }
+  return z;
+}
+
+double WcgProblem::singleton_lower_bound() const {
+  double bound = 0.0;
+  for (const auto& opts : options_) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Option& opt : opts) {
+      const double own =
+          weights_[opt.r_compute] * opt.p_compute * opt.p_compute +
+          weights_[opt.r_access] * opt.p_access * opt.p_access +
+          weights_[opt.r_fronthaul] * opt.p_fronthaul * opt.p_fronthaul;
+      best = std::min(best, own);
+    }
+    bound += best;
+  }
+  return bound;
+}
+
+LoadTracker::LoadTracker(const WcgProblem& problem, Profile profile)
+    : problem_(&problem), profile_(std::move(profile)) {
+  EOTORA_REQUIRE(profile_.size() == problem.num_devices());
+  loads_.assign(problem.num_resources(), 0.0);
+  load_squares_.assign(problem.num_resources(), 0.0);
+  for (std::size_t i = 0; i < profile_.size(); ++i) {
+    EOTORA_REQUIRE(profile_[i] < problem.options(i).size());
+    add_device(i, problem.options(i)[profile_[i]], +1.0);
+  }
+}
+
+void LoadTracker::add_device(std::size_t device, const Option& option,
+                             double sign) {
+  (void)device;
+  loads_[option.r_compute] += sign * option.p_compute;
+  loads_[option.r_access] += sign * option.p_access;
+  loads_[option.r_fronthaul] += sign * option.p_fronthaul;
+  load_squares_[option.r_compute] += sign * option.p_compute * option.p_compute;
+  load_squares_[option.r_access] += sign * option.p_access * option.p_access;
+  load_squares_[option.r_fronthaul] +=
+      sign * option.p_fronthaul * option.p_fronthaul;
+}
+
+double LoadTracker::total_cost() const {
+  double cost = 0.0;
+  for (std::size_t r = 0; r < loads_.size(); ++r) {
+    cost += problem_->weight(r) * loads_[r] * loads_[r];
+  }
+  return cost;
+}
+
+double LoadTracker::player_cost(std::size_t device) const {
+  const Option& opt = problem_->options(device)[profile_[device]];
+  return problem_->weight(opt.r_compute) * opt.p_compute *
+             loads_[opt.r_compute] +
+         problem_->weight(opt.r_access) * opt.p_access * loads_[opt.r_access] +
+         problem_->weight(opt.r_fronthaul) * opt.p_fronthaul *
+             loads_[opt.r_fronthaul];
+}
+
+double LoadTracker::cost_if_moved(std::size_t device,
+                                  std::size_t option_index) const {
+  const Option& cur = problem_->options(device)[profile_[device]];
+  const Option& alt = problem_->options(device)[option_index];
+  // Load on each of alt's resources excluding the device itself, then add
+  // the device back. The current option's contribution must be subtracted
+  // only where the resources coincide.
+  auto load_without = [&](std::size_t r, double p_cur_on_r) {
+    return loads_[r] - p_cur_on_r;
+  };
+  const double l_compute = load_without(
+      alt.r_compute, alt.r_compute == cur.r_compute ? cur.p_compute : 0.0);
+  const double l_access = load_without(
+      alt.r_access, alt.r_access == cur.r_access ? cur.p_access : 0.0);
+  const double l_fronthaul =
+      load_without(alt.r_fronthaul,
+                   alt.r_fronthaul == cur.r_fronthaul ? cur.p_fronthaul : 0.0);
+  return problem_->weight(alt.r_compute) * alt.p_compute *
+             (l_compute + alt.p_compute) +
+         problem_->weight(alt.r_access) * alt.p_access *
+             (l_access + alt.p_access) +
+         problem_->weight(alt.r_fronthaul) * alt.p_fronthaul *
+             (l_fronthaul + alt.p_fronthaul);
+}
+
+LoadTracker::BestResponse LoadTracker::best_response(
+    std::size_t device) const {
+  const auto& opts = problem_->options(device);
+  BestResponse best{profile_[device], player_cost(device)};
+  for (std::size_t o = 0; o < opts.size(); ++o) {
+    if (o == profile_[device]) continue;
+    const double c = cost_if_moved(device, o);
+    if (c < best.cost) {
+      best.cost = c;
+      best.option_index = o;
+    }
+  }
+  return best;
+}
+
+void LoadTracker::move(std::size_t device, std::size_t option_index) {
+  EOTORA_REQUIRE(device < profile_.size());
+  EOTORA_REQUIRE(option_index < problem_->options(device).size());
+  if (option_index == profile_[device]) return;
+  add_device(device, problem_->options(device)[profile_[device]], -1.0);
+  profile_[device] = option_index;
+  add_device(device, problem_->options(device)[option_index], +1.0);
+}
+
+double LoadTracker::potential() const {
+  double phi = 0.0;
+  for (std::size_t r = 0; r < loads_.size(); ++r) {
+    phi += 0.5 * problem_->weight(r) *
+           (loads_[r] * loads_[r] + load_squares_[r]);
+  }
+  return phi;
+}
+
+}  // namespace eotora::core

@@ -1,0 +1,143 @@
+// The Weighted Congestion Game view of the P2-A problem (paper §V-B).
+//
+// After Lemma 1 eliminates the divisible resource-allocation variables, the
+// per-slot latency becomes  T_t = Σ_r m_r P_r(z)²  over the resource set
+//   R = {C_n | servers} ∪ {B^A_k | base stations} ∪ {B^F_k | base stations}
+// with per-resource loads P_r(z) = Σ_{i uses r} p_{i,r} and weights
+//   m_{C_n}  = 1 / (cores_n · ω_n · 1e9)   p_{i,C_n}  = sqrt(f_i / σ_{i,n})
+//   m_{B^A_k} = 1 / W^A_k                  p_{i,B^A_k} = sqrt(d_i / h_{i,k})
+//   m_{B^F_k} = 1 / W^F_k                  p_{i,B^F_k} = sqrt(d_i / h^F_k)
+// (This is the form consistent with Eqs. (18)-(19); see DESIGN.md for the
+// paper's §V-B typo.)
+//
+// A device's strategy is an Option: a feasible (base station, server) pair —
+// the BS must cover the device (h > 0) and the server must be reachable over
+// that BS's fronthaul (constraint (3)). The player cost is
+//   T_i(z) = Σ_{r ∈ R(z_i)} m_r p_{i,r} P_r(z),
+// and Σ_i T_i = T_t, so the game's social cost is exactly the latency.
+//
+// The game admits the exact potential
+//   Φ(z) = ½ Σ_r m_r (P_r(z)² + Σ_{i∈I_r} p_{i,r}²),
+// i.e. ΔΦ equals the mover's cost change for every unilateral deviation —
+// this is what makes CGBA's best-response dynamics terminate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+
+// One feasible (base station, server) choice for a device, with its resource
+// indices and weights precomputed.
+struct Option {
+  std::size_t bs = 0;
+  std::size_t server = 0;
+  std::size_t r_compute = 0;
+  std::size_t r_access = 0;
+  std::size_t r_fronthaul = 0;
+  double p_compute = 0.0;
+  double p_access = 0.0;
+  double p_fronthaul = 0.0;
+};
+
+// z: per-device index into that device's option list.
+using Profile = std::vector<std::size_t>;
+
+class WcgProblem {
+ public:
+  // Builds option lists and resource weights from the instance, the current
+  // slot state, and the current frequencies. Throws std::invalid_argument if
+  // any device has no feasible option (no covering BS with a usable channel).
+  WcgProblem(const Instance& instance, const SlotState& state,
+             const Frequencies& frequencies);
+
+  [[nodiscard]] std::size_t num_devices() const { return options_.size(); }
+  [[nodiscard]] std::size_t num_resources() const { return weights_.size(); }
+  [[nodiscard]] const std::vector<Option>& options(std::size_t device) const;
+  [[nodiscard]] double weight(std::size_t resource) const;
+
+  // Re-derives the compute-resource weights for new frequencies; option
+  // lists and p-values are frequency-independent and stay valid.
+  void set_frequencies(const Instance& instance,
+                       const Frequencies& frequencies);
+
+  // Uniform random feasible profile.
+  [[nodiscard]] Profile random_profile(util::Rng& rng) const;
+
+  // Social cost T_t(z) = Σ_r m_r P_r(z)² — evaluates from scratch.
+  [[nodiscard]] double total_cost(const Profile& z) const;
+
+  // Player i's cost T_i(z) — evaluates from scratch (solvers use LoadTracker
+  // for incremental evaluation).
+  [[nodiscard]] double player_cost(const Profile& z, std::size_t device) const;
+
+  // Exact potential Φ(z).
+  [[nodiscard]] double potential(const Profile& z) const;
+
+  // Decodes a profile into the (x, y) Assignment.
+  [[nodiscard]] Assignment to_assignment(const Profile& z) const;
+
+  // Encodes an Assignment back into a profile. Throws if the assignment uses
+  // a pair that is not a feasible option.
+  [[nodiscard]] Profile to_profile(const Assignment& assignment) const;
+
+  // A lower bound on the social cost of ANY profile: every device must pay
+  // at least its own-weight cost m_r p_{i,r}² on the resources of its best
+  // option (loads only grow when others share). Used by branch & bound and
+  // reported alongside heuristic solutions.
+  [[nodiscard]] double singleton_lower_bound() const;
+
+ private:
+  [[nodiscard]] std::vector<double> loads(const Profile& z) const;
+
+  std::vector<std::vector<Option>> options_;  // per device
+  std::vector<double> weights_;               // m_r
+  std::size_t num_servers_ = 0;
+  std::size_t num_base_stations_ = 0;
+};
+
+// Incremental load bookkeeping for search algorithms (CGBA, MCBA, B&B).
+// Tracks P_r for a current profile and answers player costs / best responses
+// in O(options(i)) without touching other devices.
+class LoadTracker {
+ public:
+  // Binds to `problem` (must outlive the tracker) at the given profile.
+  LoadTracker(const WcgProblem& problem, Profile profile);
+
+  [[nodiscard]] const Profile& profile() const { return profile_; }
+  [[nodiscard]] double total_cost() const;
+
+  // Player i's current cost given the tracked loads.
+  [[nodiscard]] double player_cost(std::size_t device) const;
+
+  // Cost player i would pay after unilaterally switching to `option_index`
+  // (others fixed).
+  [[nodiscard]] double cost_if_moved(std::size_t device,
+                                     std::size_t option_index) const;
+
+  struct BestResponse {
+    std::size_t option_index = 0;
+    double cost = 0.0;
+  };
+  // Minimum-cost unilateral deviation for player i (includes staying put).
+  [[nodiscard]] BestResponse best_response(std::size_t device) const;
+
+  // Switches player i to `option_index`, updating loads incrementally.
+  void move(std::size_t device, std::size_t option_index);
+
+  [[nodiscard]] double potential() const;
+
+ private:
+  void add_device(std::size_t device, const Option& option, double sign);
+
+  const WcgProblem* problem_;
+  Profile profile_;
+  std::vector<double> loads_;         // P_r
+  std::vector<double> load_squares_;  // Σ_{i∈I_r} p_{i,r}² (for potential)
+};
+
+}  // namespace eotora::core

@@ -1,0 +1,210 @@
+#include "des/flow_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace eotora::des {
+
+namespace {
+
+enum class Stage { kAccess, kFronthaul, kCompute, kDone };
+
+struct Flow {
+  Stage stage = Stage::kAccess;
+  double remaining = 0.0;  // bits or cycles, depending on stage
+  double rate = 0.0;       // current service rate (bits/s or cycles/s)
+};
+
+// Resource occupancy counters for processor sharing: how many flows are
+// currently being served by each access link / fronthaul link / server.
+struct Occupancy {
+  std::vector<int> access;     // per base station
+  std::vector<int> fronthaul;  // per base station
+  std::vector<int> compute;    // per server
+};
+
+}  // namespace
+
+FlowResult simulate_slot(const core::Instance& instance,
+                         const core::SlotState& state,
+                         const core::Assignment& assignment,
+                         const core::Frequencies& frequencies,
+                         const core::ResourceAllocation& allocation,
+                         SharingDiscipline discipline) {
+  const auto& topo = instance.topology();
+  const std::size_t devices = instance.num_devices();
+  EOTORA_REQUIRE(assignment.bs_of.size() == devices);
+  EOTORA_REQUIRE(assignment.server_of.size() == devices);
+  EOTORA_REQUIRE(state.task_cycles.size() == devices);
+  EOTORA_REQUIRE(state.data_bits.size() == devices);
+  EOTORA_REQUIRE_MSG(instance.frequencies_feasible(frequencies),
+                     "frequencies outside [F^L, F^U]");
+  if (discipline == SharingDiscipline::kStaticShares) {
+    EOTORA_REQUIRE(allocation.phi.size() == devices);
+    EOTORA_REQUIRE(allocation.psi_access.size() == devices);
+    EOTORA_REQUIRE(allocation.psi_fronthaul.size() == devices);
+  }
+
+  std::vector<Flow> flows(devices);
+  Occupancy occupancy;
+  occupancy.access.assign(topo.num_base_stations(), 0);
+  occupancy.fronthaul.assign(topo.num_base_stations(), 0);
+  occupancy.compute.assign(topo.num_servers(), 0);
+
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::size_t k = assignment.bs_of[i];
+    EOTORA_REQUIRE(k < topo.num_base_stations());
+    EOTORA_REQUIRE(assignment.server_of[i] < topo.num_servers());
+    EOTORA_REQUIRE_MSG(state.channel[i][k] > 0.0,
+                       "device " << i << " channel is unusable");
+    flows[i].remaining = state.data_bits[i];
+    ++occupancy.access[k];
+  }
+
+  // Per-device unit rates: what the device gets at share 1.0 of each stage's
+  // resource.
+  auto full_rate = [&](std::size_t i, Stage stage) {
+    const std::size_t k = assignment.bs_of[i];
+    const std::size_t n = assignment.server_of[i];
+    const auto& bs = topo.base_station(topology::BaseStationId{k});
+    switch (stage) {
+      case Stage::kAccess:
+        return bs.access_bandwidth_hz * state.channel[i][k];
+      case Stage::kFronthaul:
+        return bs.fronthaul_bandwidth_hz * bs.fronthaul_spectral_efficiency;
+      case Stage::kCompute: {
+        const auto& server = topo.server(topology::ServerId{n});
+        return server.capacity_hz(frequencies[n]) *
+               instance.suitability(i, n);
+      }
+      case Stage::kDone:
+        break;
+    }
+    return 0.0;
+  };
+
+  auto static_share = [&](std::size_t i, Stage stage) {
+    switch (stage) {
+      case Stage::kAccess:
+        return allocation.psi_access[i];
+      case Stage::kFronthaul:
+        return allocation.psi_fronthaul[i];
+      case Stage::kCompute:
+        return allocation.phi[i];
+      case Stage::kDone:
+        break;
+    }
+    return 0.0;
+  };
+
+  auto dynamic_occupants = [&](std::size_t i, Stage stage) -> int {
+    const std::size_t k = assignment.bs_of[i];
+    const std::size_t n = assignment.server_of[i];
+    switch (stage) {
+      case Stage::kAccess:
+        return occupancy.access[k];
+      case Stage::kFronthaul:
+        return occupancy.fronthaul[k];
+      case Stage::kCompute:
+        return occupancy.compute[n];
+      case Stage::kDone:
+        break;
+    }
+    return 1;
+  };
+
+  auto refresh_rates = [&] {
+    for (std::size_t i = 0; i < devices; ++i) {
+      Flow& flow = flows[i];
+      if (flow.stage == Stage::kDone) {
+        flow.rate = 0.0;
+        continue;
+      }
+      double share = 0.0;
+      if (discipline == SharingDiscipline::kStaticShares) {
+        share = static_share(i, flow.stage);
+        EOTORA_REQUIRE_MSG(share > 0.0, "device " << i
+                                                  << " has a zero share");
+      } else {
+        share = 1.0 / static_cast<double>(dynamic_occupants(i, flow.stage));
+      }
+      flow.rate = share * full_rate(i, flow.stage);
+      EOTORA_ASSERT(flow.rate > 0.0);
+    }
+  };
+
+  auto advance_stage = [&](std::size_t i) {
+    Flow& flow = flows[i];
+    const std::size_t k = assignment.bs_of[i];
+    const std::size_t n = assignment.server_of[i];
+    switch (flow.stage) {
+      case Stage::kAccess:
+        --occupancy.access[k];
+        ++occupancy.fronthaul[k];
+        flow.stage = Stage::kFronthaul;
+        flow.remaining = state.data_bits[i];
+        break;
+      case Stage::kFronthaul:
+        --occupancy.fronthaul[k];
+        ++occupancy.compute[n];
+        flow.stage = Stage::kCompute;
+        flow.remaining = state.task_cycles[i];
+        break;
+      case Stage::kCompute:
+        --occupancy.compute[n];
+        flow.stage = Stage::kDone;
+        flow.remaining = 0.0;
+        break;
+      case Stage::kDone:
+        EOTORA_ASSERT(false);
+    }
+  };
+
+  FlowResult result;
+  result.access_done.assign(devices, 0.0);
+  result.fronthaul_done.assign(devices, 0.0);
+  result.finish.assign(devices, 0.0);
+
+  double now = 0.0;
+  std::size_t active = devices;
+  // Guard against infinite loops: each flow changes stage exactly 3 times,
+  // and at least one flow finishes a stage per event.
+  const std::size_t max_events = 3 * devices + 1;
+  while (active > 0) {
+    EOTORA_ASSERT(result.events < max_events);
+    refresh_rates();
+    // Next completion across active flows.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const Flow& flow : flows) {
+      if (flow.stage == Stage::kDone) continue;
+      dt = std::min(dt, flow.remaining / flow.rate);
+    }
+    EOTORA_ASSERT(dt < std::numeric_limits<double>::infinity());
+    now += dt;
+    // Progress every active flow; advance all that finished their stage
+    // (simultaneous completions are handled in one event).
+    for (std::size_t i = 0; i < devices; ++i) {
+      Flow& flow = flows[i];
+      if (flow.stage == Stage::kDone) continue;
+      flow.remaining -= dt * flow.rate;
+      if (flow.remaining <= 1e-9 * dt * flow.rate + 1e-12) {
+        const Stage finished = flow.stage;
+        advance_stage(i);
+        if (finished == Stage::kAccess) {
+          result.access_done[i] = now;
+        } else if (finished == Stage::kFronthaul) {
+          result.fronthaul_done[i] = now;
+        } else {
+          result.finish[i] = now;
+          --active;
+        }
+      }
+    }
+    ++result.events;
+  }
+  return result;
+}
+
+}  // namespace eotora::des

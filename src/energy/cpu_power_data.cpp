@@ -1,0 +1,29 @@
+#include "energy/cpu_power_data.h"
+
+namespace eotora::energy {
+
+const std::vector<PowerSample>& i7_3770k_samples() {
+  // Package power of an i7-3770K under full load across DVFS states,
+  // 1.8-3.6 GHz. Convex and increasing, matching the dots in paper Fig. 3.
+  static const std::vector<PowerSample> samples = {
+      {1.8, 35.2}, {2.0, 38.1}, {2.2, 41.4}, {2.4, 45.1}, {2.6, 49.3},
+      {2.8, 54.0}, {3.0, 59.2}, {3.2, 64.9}, {3.4, 71.2}, {3.6, 77.9},
+  };
+  return samples;
+}
+
+std::vector<double> i7_3770k_frequencies() {
+  std::vector<double> freqs;
+  freqs.reserve(i7_3770k_samples().size());
+  for (const auto& s : i7_3770k_samples()) freqs.push_back(s.ghz);
+  return freqs;
+}
+
+std::vector<double> i7_3770k_powers() {
+  std::vector<double> watts;
+  watts.reserve(i7_3770k_samples().size());
+  for (const auto& s : i7_3770k_samples()) watts.push_back(s.watts);
+  return watts;
+}
+
+}  // namespace eotora::energy

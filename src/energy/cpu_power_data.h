@@ -1,0 +1,29 @@
+// Measured CPU power versus clock frequency for the Intel i7-3770K.
+//
+// Paper §VI-A: "we have the real-world power of an i7-3770K core under clock
+// frequencies from 1.8 GHz to 3.6 GHz ... we fit the real-world power data by
+// a quadratic function". The original dot values are not tabulated in the
+// paper, so this module embeds package-power measurements of the same part
+// from public DVFS characterizations (monotone and convex over 1.8-3.6 GHz,
+// ~35 W at the bottom of the range to ~77 W at the top). Substituting these
+// points preserves the experiment: the paper only consumes the fitted
+// quadratic's coefficients (a, b, c) and their per-server perturbations.
+#pragma once
+
+#include <vector>
+
+namespace eotora::energy {
+
+struct PowerSample {
+  double ghz;
+  double watts;
+};
+
+// The embedded i7-3770K (GHz, W) samples, ascending in frequency.
+[[nodiscard]] const std::vector<PowerSample>& i7_3770k_samples();
+
+// Convenience split into parallel vectors (for polyfit).
+[[nodiscard]] std::vector<double> i7_3770k_frequencies();
+[[nodiscard]] std::vector<double> i7_3770k_powers();
+
+}  // namespace eotora::energy

@@ -1,0 +1,32 @@
+// Per-server energy consumption as a function of clock frequency.
+//
+// The paper deliberately does NOT fix a functional form: it only requires
+// g_n(.) to be convex on [F^L, F^U] and lets every server have its own
+// function (§III-A). EnergyModel is that abstraction; quadratic, linear, and
+// piecewise-linear-from-measurements implementations are provided.
+//
+// Units: frequency in GHz, power in watts. Energy per slot equals
+// power * slot_duration; cost is price * energy (see core/types.h for the
+// unit conventions used by the simulator).
+#pragma once
+
+#include <memory>
+
+namespace eotora::energy {
+
+class EnergyModel {
+ public:
+  virtual ~EnergyModel() = default;
+
+  // Power draw (watts) at clock frequency `ghz`. Must be convex in `ghz`
+  // and nonnegative over the server's feasible frequency range.
+  [[nodiscard]] virtual double power(double ghz) const = 0;
+
+  // d(power)/d(frequency); used by derivative-based P2-B solvers.
+  [[nodiscard]] virtual double power_derivative(double ghz) const = 0;
+
+  // Deep copy (models are value-like; servers own their model).
+  [[nodiscard]] virtual std::unique_ptr<EnergyModel> clone() const = 0;
+};
+
+}  // namespace eotora::energy

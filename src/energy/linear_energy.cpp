@@ -1,0 +1,22 @@
+#include "energy/linear_energy.h"
+
+#include "util/check.h"
+
+namespace eotora::energy {
+
+LinearEnergy::LinearEnergy(double slope, double intercept)
+    : slope_(slope), intercept_(intercept) {
+  EOTORA_REQUIRE_MSG(slope >= 0.0, "slope=" << slope);
+}
+
+double LinearEnergy::power(double ghz) const {
+  return slope_ * ghz + intercept_;
+}
+
+double LinearEnergy::power_derivative(double /*ghz*/) const { return slope_; }
+
+std::unique_ptr<EnergyModel> LinearEnergy::clone() const {
+  return std::make_unique<LinearEnergy>(*this);
+}
+
+}  // namespace eotora::energy

@@ -1,0 +1,27 @@
+// Linear energy model  g(w) = slope * w + intercept  (the model of ref [8]).
+#pragma once
+
+#include <memory>
+
+#include "energy/energy_model.h"
+
+namespace eotora::energy {
+
+class LinearEnergy final : public EnergyModel {
+ public:
+  // Requires slope >= 0: power must not decrease with frequency.
+  LinearEnergy(double slope, double intercept);
+
+  [[nodiscard]] double power(double ghz) const override;
+  [[nodiscard]] double power_derivative(double ghz) const override;
+  [[nodiscard]] std::unique_ptr<EnergyModel> clone() const override;
+
+  [[nodiscard]] double slope() const { return slope_; }
+  [[nodiscard]] double intercept() const { return intercept_; }
+
+ private:
+  double slope_;
+  double intercept_;
+};
+
+}  // namespace eotora::energy

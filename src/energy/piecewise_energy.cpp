@@ -1,0 +1,50 @@
+#include "energy/piecewise_energy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace eotora::energy {
+
+PiecewiseLinearEnergy::PiecewiseLinearEnergy(std::vector<double> frequencies,
+                                             std::vector<double> powers)
+    : frequencies_(std::move(frequencies)), powers_(std::move(powers)) {
+  EOTORA_REQUIRE(frequencies_.size() >= 2);
+  EOTORA_REQUIRE(frequencies_.size() == powers_.size());
+  for (std::size_t i = 1; i < frequencies_.size(); ++i) {
+    EOTORA_REQUIRE_MSG(frequencies_[i] > frequencies_[i - 1],
+                       "frequencies must be strictly increasing");
+  }
+  slopes_.resize(frequencies_.size() - 1);
+  for (std::size_t i = 0; i + 1 < frequencies_.size(); ++i) {
+    slopes_[i] = (powers_[i + 1] - powers_[i]) /
+                 (frequencies_[i + 1] - frequencies_[i]);
+    if (i > 0) {
+      EOTORA_REQUIRE_MSG(slopes_[i] >= slopes_[i - 1] - 1e-12,
+                         "samples are not convex at segment " << i);
+    }
+  }
+}
+
+std::size_t PiecewiseLinearEnergy::segment(double ghz) const {
+  if (ghz <= frequencies_.front()) return 0;
+  if (ghz >= frequencies_.back()) return slopes_.size() - 1;
+  const auto it =
+      std::upper_bound(frequencies_.begin(), frequencies_.end(), ghz);
+  return static_cast<std::size_t>(it - frequencies_.begin()) - 1;
+}
+
+double PiecewiseLinearEnergy::power(double ghz) const {
+  const std::size_t s = segment(ghz);
+  return powers_[s] + slopes_[s] * (ghz - frequencies_[s]);
+}
+
+double PiecewiseLinearEnergy::power_derivative(double ghz) const {
+  return slopes_[segment(ghz)];
+}
+
+std::unique_ptr<EnergyModel> PiecewiseLinearEnergy::clone() const {
+  return std::make_unique<PiecewiseLinearEnergy>(*this);
+}
+
+}  // namespace eotora::energy

@@ -1,0 +1,43 @@
+// Piecewise-linear energy model built directly from measured (GHz, W)
+// samples. Lets operators plug measured power tables in without fitting a
+// parametric form — the paper's "unspecified convex function" case in its
+// most literal reading.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "energy/energy_model.h"
+
+namespace eotora::energy {
+
+class PiecewiseLinearEnergy final : public EnergyModel {
+ public:
+  // Requires >= 2 samples with strictly increasing frequencies; the implied
+  // piecewise-linear function must be convex (nondecreasing segment slopes),
+  // which is validated at construction.
+  PiecewiseLinearEnergy(std::vector<double> frequencies,
+                        std::vector<double> powers);
+
+  // Linear interpolation inside the sample range; linear extrapolation with
+  // the first/last segment slope outside it (preserves convexity).
+  [[nodiscard]] double power(double ghz) const override;
+  // Right-continuous derivative (segment slope).
+  [[nodiscard]] double power_derivative(double ghz) const override;
+  [[nodiscard]] std::unique_ptr<EnergyModel> clone() const override;
+
+  [[nodiscard]] const std::vector<double>& frequencies() const {
+    return frequencies_;
+  }
+  [[nodiscard]] const std::vector<double>& powers() const { return powers_; }
+
+ private:
+  // Index of the segment containing `ghz` (clamped to the ends).
+  [[nodiscard]] std::size_t segment(double ghz) const;
+
+  std::vector<double> frequencies_;
+  std::vector<double> powers_;
+  std::vector<double> slopes_;
+};
+
+}  // namespace eotora::energy

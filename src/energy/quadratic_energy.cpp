@@ -1,0 +1,25 @@
+#include "energy/quadratic_energy.h"
+
+#include "util/check.h"
+
+namespace eotora::energy {
+
+QuadraticEnergy::QuadraticEnergy(double a, double b, double c)
+    : a_(a), b_(b), c_(c) {
+  EOTORA_REQUIRE_MSG(a >= 0.0, "quadratic coefficient a=" << a
+                                   << " must be >= 0 for convexity");
+}
+
+double QuadraticEnergy::power(double ghz) const {
+  return (a_ * ghz + b_) * ghz + c_;
+}
+
+double QuadraticEnergy::power_derivative(double ghz) const {
+  return 2.0 * a_ * ghz + b_;
+}
+
+std::unique_ptr<EnergyModel> QuadraticEnergy::clone() const {
+  return std::make_unique<QuadraticEnergy>(*this);
+}
+
+}  // namespace eotora::energy

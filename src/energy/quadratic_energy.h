@@ -1,0 +1,32 @@
+// Quadratic energy model  g(w) = a w^2 + b w + c  (paper Fig. 3 fit; also
+// the model of refs [7], [21]).
+#pragma once
+
+#include <memory>
+
+#include "energy/energy_model.h"
+
+namespace eotora::energy {
+
+class QuadraticEnergy final : public EnergyModel {
+ public:
+  // Requires a >= 0 (convexity) and nonnegative power over frequencies >= 0
+  // is the caller's responsibility (checked for the fitted CPU data in
+  // tests).
+  QuadraticEnergy(double a, double b, double c);
+
+  [[nodiscard]] double power(double ghz) const override;
+  [[nodiscard]] double power_derivative(double ghz) const override;
+  [[nodiscard]] std::unique_ptr<EnergyModel> clone() const override;
+
+  [[nodiscard]] double a() const { return a_; }
+  [[nodiscard]] double b() const { return b_; }
+  [[nodiscard]] double c() const { return c_; }
+
+ private:
+  double a_;
+  double b_;
+  double c_;
+};
+
+}  // namespace eotora::energy

@@ -1,0 +1,21 @@
+// Central-difference numeric derivatives, used in tests to cross-check
+// analytic derivatives (energy models, reduced-latency gradients).
+#pragma once
+
+#include <functional>
+
+namespace eotora::math {
+
+// First derivative via central differences.
+[[nodiscard]] inline double numeric_derivative(
+    const std::function<double(double)>& f, double x, double h = 1e-6) {
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+// Second derivative via central differences.
+[[nodiscard]] inline double numeric_second_derivative(
+    const std::function<double(double)>& f, double x, double h = 1e-4) {
+  return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+}
+
+}  // namespace eotora::math

@@ -1,0 +1,32 @@
+// Projected gradient descent over the probability simplex.
+//
+// Serves as the numeric oracle against which the closed-form resource
+// allocation of Lemma 1 is validated in tests: the REAL problem separates per
+// resource into  min_{phi in simplex} sum_i c_i / phi_i, which this solver
+// handles without knowing the closed form.
+#pragma once
+
+#include <vector>
+
+namespace eotora::math {
+
+// Euclidean projection of `v` onto the simplex {x >= 0, sum x = radius}.
+// Requires radius > 0. (Duchi et al., ICML 2008.)
+[[nodiscard]] std::vector<double> project_to_simplex(std::vector<double> v,
+                                                     double radius = 1.0);
+
+struct SimplexMinResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+// Minimizes  f(x) = sum_i costs[i] / x[i]  over the simplex of the given
+// radius via projected gradient with diminishing steps. All costs must be
+// > 0; the iterate is kept in the simplex interior (entries floored at
+// `floor_eps`) because the objective blows up on the boundary.
+[[nodiscard]] SimplexMinResult minimize_inverse_over_simplex(
+    const std::vector<double>& costs, double radius = 1.0,
+    int max_iterations = 20000, double floor_eps = 1e-9);
+
+}  // namespace eotora::math

@@ -1,0 +1,53 @@
+#include "sim/decision_log.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace eotora::sim {
+
+void DecisionLog::record(const core::SlotState& state,
+                         const core::DppSlotResult& slot) {
+  Row row;
+  row.slot = state.slot;
+  row.price = state.price_per_mwh;
+  row.latency = slot.latency;
+  row.energy_cost = slot.energy_cost;
+  row.theta = slot.theta;
+  row.queue = slot.queue_after;
+  const auto& freq = slot.decision.frequencies;
+  EOTORA_REQUIRE(!freq.empty());
+  row.min_ghz = *std::min_element(freq.begin(), freq.end());
+  row.max_ghz = *std::max_element(freq.begin(), freq.end());
+  double sum = 0.0;
+  for (double w : freq) sum += w;
+  row.mean_ghz = sum / static_cast<double>(freq.size());
+  rows_.push_back(row);
+}
+
+std::string DecisionLog::to_csv() const {
+  EOTORA_REQUIRE_MSG(!rows_.empty(), "decision log is empty");
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "slot,price,latency,energy_cost,theta,queue,mean_ghz,min_ghz,"
+         "max_ghz\n";
+  for (const Row& row : rows_) {
+    oss << row.slot << ',' << row.price << ',' << row.latency << ','
+        << row.energy_cost << ',' << row.theta << ',' << row.queue << ','
+        << row.mean_ghz << ',' << row.min_ghz << ',' << row.max_ghz << '\n';
+  }
+  return oss.str();
+}
+
+void DecisionLog::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("DecisionLog::save: cannot open '" + path + "'");
+  }
+  file << to_csv();
+}
+
+}  // namespace eotora::sim

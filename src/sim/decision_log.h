@@ -1,0 +1,41 @@
+// Per-slot decision logging to CSV for post-hoc analysis/plotting.
+//
+// Columns: slot, price, latency, energy_cost, theta, queue, mean_ghz,
+// min_ghz, max_ghz — one row per simulated slot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dpp.h"
+
+namespace eotora::sim {
+
+class DecisionLog {
+ public:
+  void record(const core::SlotState& state, const core::DppSlotResult& slot);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  // Writes the accumulated rows as CSV. Throws std::runtime_error when the
+  // file cannot be opened and std::invalid_argument when empty.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  struct Row {
+    std::size_t slot = 0;
+    double price = 0.0;
+    double latency = 0.0;
+    double energy_cost = 0.0;
+    double theta = 0.0;
+    double queue = 0.0;
+    double mean_ghz = 0.0;
+    double min_ghz = 0.0;
+    double max_ghz = 0.0;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace eotora::sim

@@ -1,0 +1,85 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <thread>
+
+#include "util/check.h"
+
+namespace eotora::sim {
+
+double ReplicationSummary::latency_ci_halfwidth() const {
+  if (replications < 2) return 0.0;
+  // Sample stddev from the population stddev tracked by RunningStats.
+  const double n = static_cast<double>(replications);
+  const double sample_stddev = latency.stddev() * std::sqrt(n / (n - 1.0));
+  return 1.96 * sample_stddev / std::sqrt(n);
+}
+
+namespace {
+
+// One replication, independent of all others (safe to run concurrently).
+SimulationResult run_replication(const ScenarioConfig& base_config,
+                                 const PolicyFactory& make_policy,
+                                 std::size_t horizon, std::size_t r) {
+  ScenarioConfig config = base_config;
+  config.seed = base_config.seed + r;
+  Scenario scenario(config);
+  const auto states = scenario.generate_states(horizon);
+  auto policy = make_policy(scenario.instance());
+  EOTORA_REQUIRE(policy != nullptr);
+  return run_policy(*policy, states, 1 + r);
+}
+
+ReplicationSummary merge_results(const std::vector<SimulationResult>& results) {
+  ReplicationSummary summary;
+  summary.replications = results.size();
+  summary.policy_name = results.front().policy_name;
+  for (const auto& result : results) {
+    summary.latency.add(result.metrics.average_latency());
+    summary.cost.add(result.metrics.average_energy_cost());
+    summary.backlog.add(result.metrics.average_queue());
+  }
+  return summary;
+}
+
+}  // namespace
+
+ReplicationSummary replicate(const ScenarioConfig& base_config,
+                             const PolicyFactory& make_policy,
+                             std::size_t horizon,
+                             std::size_t replications) {
+  EOTORA_REQUIRE(horizon > 0);
+  EOTORA_REQUIRE(replications > 0);
+  std::vector<SimulationResult> results;
+  results.reserve(replications);
+  for (std::size_t r = 0; r < replications; ++r) {
+    results.push_back(run_replication(base_config, make_policy, horizon, r));
+  }
+  return merge_results(results);
+}
+
+ReplicationSummary replicate_parallel(const ScenarioConfig& base_config,
+                                      const PolicyFactory& make_policy,
+                                      std::size_t horizon,
+                                      std::size_t replications,
+                                      std::size_t threads) {
+  EOTORA_REQUIRE(horizon > 0);
+  EOTORA_REQUIRE(replications > 0);
+  EOTORA_REQUIRE(threads >= 1);
+  std::vector<SimulationResult> results(replications);
+  const std::size_t workers = std::min(threads, replications);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      // Static striping: worker w handles replications w, w+workers, ...
+      for (std::size_t r = w; r < replications; r += workers) {
+        results[r] = run_replication(base_config, make_policy, horizon, r);
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  return merge_results(results);
+}
+
+}  // namespace eotora::sim

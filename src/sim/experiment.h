@@ -1,0 +1,51 @@
+// Multi-seed replication: run the same policy configuration over R
+// independently seeded scenarios and report mean / stddev / confidence
+// intervals, so a conclusion ("BDMA beats ROPT by 40%") does not hinge on
+// one lucky topology draw. The paper plots single runs; replication is what
+// an adopter should do before trusting a configuration.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/policy.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace eotora::sim {
+
+struct ReplicationSummary {
+  std::string policy_name;
+  std::size_t replications = 0;
+  util::RunningStats latency;   // one sample per replication (time average)
+  util::RunningStats cost;
+  util::RunningStats backlog;
+
+  // Half-width of a ~95% normal-approximation confidence interval for the
+  // mean latency (1.96 * s / sqrt(R)). Zero for R < 2.
+  [[nodiscard]] double latency_ci_halfwidth() const;
+};
+
+// Factory signature: build a fresh policy bound to `instance`. Called once
+// per replication (policies hold per-run state such as the DPP queue).
+using PolicyFactory = std::function<std::unique_ptr<Policy>(
+    const core::Instance& instance)>;
+
+// Runs `replications` runs of `horizon` slots. Replication r uses scenario
+// seed base_config.seed + r (fresh topology + traces each time).
+[[nodiscard]] ReplicationSummary replicate(const ScenarioConfig& base_config,
+                                           const PolicyFactory& make_policy,
+                                           std::size_t horizon,
+                                           std::size_t replications);
+
+// Same semantics, replications distributed over up to `threads` worker
+// threads (results are merged in replication order, so the summary is
+// bit-identical to the serial version). `make_policy` must be safe to call
+// concurrently (stateless factories are; each call builds a fresh policy).
+[[nodiscard]] ReplicationSummary replicate_parallel(
+    const ScenarioConfig& base_config, const PolicyFactory& make_policy,
+    std::size_t horizon, std::size_t replications, std::size_t threads);
+
+}  // namespace eotora::sim

@@ -1,0 +1,187 @@
+#include "sim/mpc_policy.h"
+
+#include <cmath>
+
+#include "core/cgba.h"
+#include "core/latency.h"
+#include "core/lemma1.h"
+#include "core/wcg.h"
+#include "math/minimize1d.h"
+#include "util/check.h"
+
+namespace eotora::sim {
+
+MpcPolicy::MpcPolicy(const core::Instance& instance, MpcConfig config)
+    : instance_(&instance),
+      config_(config),
+      price_trend_(config.period, config.trend_alpha),
+      demand_trend_(config.period, config.trend_alpha) {
+  EOTORA_REQUIRE(config.window >= 1);
+  EOTORA_REQUIRE(config.period >= 1);
+  EOTORA_REQUIRE(config.bisection_iterations >= 1);
+  EOTORA_REQUIRE(config.max_multiplier > 0.0);
+}
+
+void MpcPolicy::reset() {
+  price_trend_ = trace::OnlineTrendEstimator(config_.period,
+                                             config_.trend_alpha);
+  demand_trend_ = trace::OnlineTrendEstimator(config_.period,
+                                              config_.trend_alpha);
+  last_multiplier_ = 0.0;
+}
+
+bool MpcPolicy::forecasting() const {
+  return price_trend_.ready() && demand_trend_.ready();
+}
+
+core::Frequencies MpcPolicy::frequencies_for(
+    const std::vector<double>& compute_load, double lambda,
+    double price) const {
+  const auto& topo = instance_->topology();
+  core::Frequencies freq(topo.num_servers());
+  for (std::size_t n = 0; n < topo.num_servers(); ++n) {
+    const auto& server = topo.server(topology::ServerId{n});
+    const double a_n = compute_load[n] * compute_load[n];
+    if (a_n == 0.0) {
+      freq[n] = server.freq_min_ghz;
+      continue;
+    }
+    if (lambda == 0.0) {
+      freq[n] = server.freq_max_ghz;
+      continue;
+    }
+    const double cores = static_cast<double>(server.cores);
+    const double cost_scale =
+        lambda * price * instance_->slot_hours() / 1e6;
+    auto objective = [&](double w) {
+      return a_n / (cores * w * 1e9) + cost_scale * server.power_watts(w);
+    };
+    auto derivative = [&](double w) {
+      return -a_n / (cores * w * w * 1e9) +
+             cost_scale * server.power_derivative_watts(w);
+    };
+    freq[n] = math::derivative_bisection(objective, derivative,
+                                         server.freq_min_ghz,
+                                         server.freq_max_ghz, 1e-7)
+                  .x;
+  }
+  return freq;
+}
+
+double MpcPolicy::window_cost(const std::vector<double>& compute_load,
+                              double lambda,
+                              const std::vector<double>& prices,
+                              const std::vector<double>& load_scale) const {
+  double total = 0.0;
+  std::vector<double> scaled(compute_load.size());
+  for (std::size_t w = 0; w < prices.size(); ++w) {
+    for (std::size_t n = 0; n < compute_load.size(); ++n) {
+      scaled[n] = compute_load[n] * load_scale[w];
+    }
+    const auto freq = frequencies_for(scaled, lambda, prices[w]);
+    total += instance_->energy_cost(freq, prices[w]);
+  }
+  return total;
+}
+
+core::DppSlotResult MpcPolicy::step(const core::SlotState& state,
+                                    util::Rng& rng) {
+  // 1. Learn from the observation.
+  price_trend_.observe(state.price_per_mwh);
+  double mean_demand = 0.0;
+  for (double f : state.task_cycles) mean_demand += f;
+  mean_demand /= static_cast<double>(state.task_cycles.size());
+  demand_trend_.observe(mean_demand);
+
+  // Assignment: CGBA at the frequency floor (load shape, not speed, drives
+  // the selection; P2-B-style reasoning fixes the speed afterwards).
+  core::WcgProblem problem(*instance_, state,
+                           instance_->min_frequencies());
+  const core::SolveResult p2a = core::cgba(problem, config_.cgba, rng);
+  const core::Assignment assignment = problem.to_assignment(p2a.profile);
+
+  // Current per-server load sums.
+  std::vector<double> compute_load(instance_->num_servers(), 0.0);
+  for (std::size_t i = 0; i < instance_->num_devices(); ++i) {
+    const std::size_t n = assignment.server_of[i];
+    compute_load[n] +=
+        std::sqrt(state.task_cycles[i] / instance_->suitability(i, n));
+  }
+
+  core::Frequencies frequencies;
+  if (!forecasting()) {
+    // Bootstrap: greedy per-slot budget via the multiplier at this slot
+    // alone (window of one, current price).
+    const std::vector<double> prices{state.price_per_mwh};
+    const std::vector<double> scale{1.0};
+    double lambda = 0.0;
+    if (window_cost(compute_load, 0.0, prices, scale) >
+        instance_->budget_per_slot()) {
+      double lo = 0.0;
+      double hi = config_.max_multiplier;
+      for (int iter = 0; iter < config_.bisection_iterations; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (window_cost(compute_load, mid, prices, scale) <=
+            instance_->budget_per_slot()) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      lambda = hi;
+    }
+    last_multiplier_ = lambda;
+    frequencies = frequencies_for(compute_load, lambda, state.price_per_mwh);
+  } else {
+    // 2. Forecast the window by certainty equivalence.
+    const std::size_t phase_now =
+        (price_trend_.observations() - 1) % config_.period;
+    std::vector<double> prices(config_.window);
+    std::vector<double> scale(config_.window);
+    const double demand_now = demand_trend_.trend_at(phase_now);
+    prices[0] = state.price_per_mwh;  // the current slot is observed
+    scale[0] = 1.0;
+    for (std::size_t w = 1; w < config_.window; ++w) {
+      const std::size_t phase = (phase_now + w) % config_.period;
+      prices[w] = price_trend_.trend_at(phase);
+      scale[w] = demand_now > 0.0
+                     ? std::sqrt(demand_trend_.trend_at(phase) / demand_now)
+                     : 1.0;
+    }
+    // 3. One multiplier for the window so forecast spend == window budget.
+    const double window_budget =
+        instance_->budget_per_slot() * static_cast<double>(config_.window);
+    double lambda = 0.0;
+    if (window_cost(compute_load, 0.0, prices, scale) > window_budget) {
+      double lo = 0.0;
+      double hi = config_.max_multiplier;
+      for (int iter = 0; iter < config_.bisection_iterations; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (window_cost(compute_load, mid, prices, scale) <= window_budget) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      lambda = hi;
+    }
+    last_multiplier_ = lambda;
+    // 4. Execute the current slot at the planned multiplier.
+    frequencies = frequencies_for(compute_load, lambda, state.price_per_mwh);
+  }
+
+  core::DppSlotResult result;
+  result.decision.assignment = assignment;
+  result.decision.frequencies = frequencies;
+  result.decision.allocation =
+      core::optimal_allocation(*instance_, state, assignment);
+  result.latency =
+      core::reduced_latency(*instance_, state, assignment, frequencies);
+  result.energy_cost =
+      instance_->energy_cost(frequencies, state.price_per_mwh);
+  result.theta = result.energy_cost - instance_->budget_per_slot();
+  result.p2a_iterations = p2a.iterations;
+  return result;
+}
+
+}  // namespace eotora::sim

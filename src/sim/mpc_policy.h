@@ -1,0 +1,74 @@
+// Certainty-equivalence receding-horizon control (MPC) — the classic
+// alternative to the paper's Lyapunov approach.
+//
+// Where DPP needs no model of the future (the virtual queue reacts), MPC
+// exploits the known structure: prices and workloads are periodic trends
+// plus noise. Each slot it
+//   1. updates online trend estimates (trace::OnlineTrendEstimator) of the
+//      price and of the mean task size from the observed stream;
+//   2. forecasts the next `window` slots by certainty equivalence
+//      (noise replaced by zero);
+//   3. picks ONE Lagrange multiplier λ for the whole window by bisection so
+//      the forecast energy spend over the window equals window·C̄ — i.e. it
+//      plans to spend cheap forecast hours harder than expensive ones;
+//   4. executes only the current slot: CGBA assignment, frequencies from
+//      the per-server convex problem at (V = 1, Q = λ).
+// Until every phase of the period has been observed, it falls back to the
+// greedy per-slot-budget rule (no trend to exploit yet).
+//
+// The comparison against DPP (bench/ablation_mpc) shows the trade: MPC
+// matches DPP when its forecasts are good and degrades as the noise share
+// grows; DPP needs no forecasts at all — which is the paper's argument.
+#pragma once
+
+#include <vector>
+
+#include "sim/policy.h"
+#include "trace/online_trend.h"
+
+namespace eotora::sim {
+
+struct MpcConfig {
+  std::size_t window = 24;   // look-ahead horizon (one period by default)
+  std::size_t period = 24;   // D: slots per day
+  double trend_alpha = 0.15; // EMA weight for the online trend estimators
+  double max_multiplier = 1e6;
+  int bisection_iterations = 40;
+  core::CgbaConfig cgba;
+};
+
+class MpcPolicy final : public Policy {
+ public:
+  MpcPolicy(const core::Instance& instance, MpcConfig config);
+
+  core::DppSlotResult step(const core::SlotState& state,
+                           util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override {
+    return "Receding-horizon MPC";
+  }
+  void reset() override;
+
+  // The multiplier chosen at the last slot (0 until the first planned slot).
+  [[nodiscard]] double last_multiplier() const { return last_multiplier_; }
+  [[nodiscard]] bool forecasting() const;
+
+ private:
+  // Frequencies minimizing  A_n/capacity(ω) + λ·price·cost(ω)  per server.
+  [[nodiscard]] core::Frequencies frequencies_for(
+      const std::vector<double>& compute_load, double lambda,
+      double price) const;
+  // Total energy cost of the forecast window at multiplier λ.
+  [[nodiscard]] double window_cost(const std::vector<double>& compute_load,
+                                   double lambda,
+                                   const std::vector<double>& prices,
+                                   const std::vector<double>& load_scale)
+      const;
+
+  const core::Instance* instance_;
+  MpcConfig config_;
+  trace::OnlineTrendEstimator price_trend_;
+  trace::OnlineTrendEstimator demand_trend_;
+  double last_multiplier_ = 0.0;
+};
+
+}  // namespace eotora::sim

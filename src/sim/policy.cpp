@@ -1,0 +1,121 @@
+#include "sim/policy.h"
+
+#include "core/cgba.h"
+#include "core/latency.h"
+#include "core/lemma1.h"
+#include "core/wcg.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace eotora::sim {
+
+DppPolicy::DppPolicy(const core::Instance& instance, core::DppConfig config)
+    : controller_(instance, config), initial_config_(config) {}
+
+core::DppSlotResult DppPolicy::step(const core::SlotState& state,
+                                    util::Rng& rng) {
+  return controller_.step(state, rng);
+}
+
+std::string DppPolicy::name() const {
+  switch (initial_config_.bdma.solver) {
+    case core::P2aSolverKind::kCgba:
+      return "BDMA-based DPP";
+    case core::P2aSolverKind::kMcba:
+      return "MCBA-based DPP";
+    case core::P2aSolverKind::kRopt:
+      return "ROPT-based DPP";
+  }
+  return "DPP";
+}
+
+void DppPolicy::reset() { controller_.reset(initial_config_.initial_queue); }
+
+GreedyBudgetPolicy::GreedyBudgetPolicy(const core::Instance& instance,
+                                       core::CgbaConfig cgba)
+    : instance_(&instance), cgba_(cgba) {}
+
+core::Frequencies GreedyBudgetPolicy::frequencies_at(double fraction) const {
+  const auto lo = instance_->min_frequencies();
+  const auto hi = instance_->max_frequencies();
+  core::Frequencies freq(lo.size());
+  for (std::size_t n = 0; n < lo.size(); ++n) {
+    freq[n] = lo[n] + fraction * (hi[n] - lo[n]);
+  }
+  return freq;
+}
+
+core::DppSlotResult GreedyBudgetPolicy::step(const core::SlotState& state,
+                                             util::Rng& rng) {
+  // Largest uniform fraction whose cost fits the budget at today's price.
+  const double budget = instance_->budget_per_slot();
+  const double price = state.price_per_mwh;
+  double fraction = 0.0;
+  if (instance_->energy_cost(frequencies_at(1.0), price) <= budget) {
+    fraction = 1.0;
+  } else if (instance_->energy_cost(frequencies_at(0.0), price) < budget) {
+    double lo = 0.0;
+    double hi = 1.0;
+    for (int iter = 0; iter < 50; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (instance_->energy_cost(frequencies_at(mid), price) <= budget) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    fraction = lo;
+  }  // else: even F^L busts the budget — run at the floor.
+
+  const core::Frequencies frequencies = frequencies_at(fraction);
+  core::WcgProblem problem(*instance_, state, frequencies);
+  const core::SolveResult p2a = core::cgba(problem, cgba_, rng);
+  core::DppSlotResult result;
+  result.decision.assignment = problem.to_assignment(p2a.profile);
+  result.decision.frequencies = frequencies;
+  result.decision.allocation =
+      core::optimal_allocation(*instance_, state, result.decision.assignment);
+  result.latency = p2a.cost;
+  result.energy_cost = instance_->energy_cost(frequencies, price);
+  result.theta = result.energy_cost - budget;
+  result.p2a_iterations = p2a.iterations;
+  return result;
+}
+
+FixedFrequencyPolicy::FixedFrequencyPolicy(const core::Instance& instance,
+                                           double fraction,
+                                           core::CgbaConfig cgba)
+    : instance_(&instance), fraction_(fraction), cgba_(cgba) {
+  EOTORA_REQUIRE_MSG(fraction >= 0.0 && fraction <= 1.0,
+                     "fraction=" << fraction);
+  const auto lo = instance.min_frequencies();
+  const auto hi = instance.max_frequencies();
+  frequencies_.resize(lo.size());
+  for (std::size_t n = 0; n < lo.size(); ++n) {
+    frequencies_[n] = lo[n] + fraction * (hi[n] - lo[n]);
+  }
+}
+
+core::DppSlotResult FixedFrequencyPolicy::step(const core::SlotState& state,
+                                               util::Rng& rng) {
+  core::WcgProblem problem(*instance_, state, frequencies_);
+  const core::SolveResult p2a = core::cgba(problem, cgba_, rng);
+  core::DppSlotResult result;
+  result.decision.assignment = problem.to_assignment(p2a.profile);
+  result.decision.frequencies = frequencies_;
+  result.decision.allocation =
+      core::optimal_allocation(*instance_, state, result.decision.assignment);
+  result.latency = p2a.cost;
+  result.energy_cost =
+      instance_->energy_cost(frequencies_, state.price_per_mwh);
+  result.theta = result.energy_cost - instance_->budget_per_slot();
+  result.p2a_iterations = p2a.iterations;
+  return result;
+}
+
+std::string FixedFrequencyPolicy::name() const {
+  return "Fixed-frequency CGBA (fraction=" + util::format_double(fraction_, 2) +
+         ")";
+}
+
+}  // namespace eotora::sim

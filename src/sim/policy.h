@@ -1,0 +1,91 @@
+// Online policies the simulator can drive.
+//
+// DppPolicy wraps the paper's controller with a pluggable P2-A solver
+// (BDMA/CGBA, MCBA-based DPP, ROPT-based DPP — the three lines of Fig. 9).
+// FixedFrequencyPolicy is a non-Lyapunov ablation: CGBA assignment at a
+// constant clock, no budget adaptation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dpp.h"
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace eotora::sim {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  // Decides one slot. Implementations must not retain references to `state`.
+  virtual core::DppSlotResult step(const core::SlotState& state,
+                                   util::Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Clears online state (queue backlogs etc.) for a fresh run.
+  virtual void reset() = 0;
+};
+
+// The paper's Algorithm 1 with a configurable inner solver.
+class DppPolicy final : public Policy {
+ public:
+  DppPolicy(const core::Instance& instance, core::DppConfig config);
+
+  core::DppSlotResult step(const core::SlotState& state,
+                           util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+  [[nodiscard]] double queue() const { return controller_.queue(); }
+
+ private:
+  core::DppController controller_;
+  core::DppConfig initial_config_;
+};
+
+// Myopic baseline: spend up to the budget EVERY slot. Each slot it picks the
+// largest uniform frequency fraction whose energy cost fits under C̄ at the
+// current price (bisection — cost is monotone in the fraction), then runs
+// CGBA at those frequencies. Unlike DPP it cannot bank cheap-hour headroom
+// against expensive hours, which is exactly the gap the Lyapunov queue
+// closes; compare_policies quantifies it.
+class GreedyBudgetPolicy final : public Policy {
+ public:
+  explicit GreedyBudgetPolicy(const core::Instance& instance,
+                              core::CgbaConfig cgba = {});
+
+  core::DppSlotResult step(const core::SlotState& state,
+                           util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Greedy per-slot budget"; }
+  void reset() override {}
+
+ private:
+  [[nodiscard]] core::Frequencies frequencies_at(double fraction) const;
+
+  const core::Instance* instance_;
+  core::CgbaConfig cgba_;
+};
+
+// Ablation: CGBA assignment at a fixed frequency for every server (as a
+// fraction of each server's range; 1.0 = always F^U, 0.0 = always F^L).
+class FixedFrequencyPolicy final : public Policy {
+ public:
+  FixedFrequencyPolicy(const core::Instance& instance, double fraction,
+                       core::CgbaConfig cgba = {});
+
+  core::DppSlotResult step(const core::SlotState& state,
+                           util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override {}
+
+ private:
+  const core::Instance* instance_;
+  double fraction_;
+  core::CgbaConfig cgba_;
+  core::Frequencies frequencies_;
+};
+
+}  // namespace eotora::sim

@@ -1,0 +1,34 @@
+// Recording and replaying state sequences.
+//
+// A recorded run makes experiments portable: save the β_t sequence a
+// Scenario produced (or import states built from real measurements) and
+// replay it bit-exactly later — across machines, library versions, or
+// against a different policy. The CSV schema is wide and self-describing:
+//   slot, price, f_0..f_{I-1}, d_0..d_{I-1}, h_0_0..h_{I-1}_{K-1}
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace eotora::sim {
+
+// Serializes states to the CSV schema above. Requires a non-empty,
+// shape-consistent sequence.
+void save_states(const std::string& path,
+                 const std::vector<core::SlotState>& states);
+
+// Parses states back. Validates the header layout and throws
+// std::invalid_argument on schema or shape mismatches.
+[[nodiscard]] std::vector<core::SlotState> load_states(
+    const std::string& path);
+
+// Overrides the price of each state with the given series (e.g. a real
+// NYISO export loaded via trace::load_price_csv), wrapping around when the
+// series is shorter than the horizon. Requires a non-empty series of
+// positive prices.
+void apply_price_series(std::vector<core::SlotState>& states,
+                        const std::vector<double>& prices);
+
+}  // namespace eotora::sim

@@ -1,0 +1,21 @@
+// Human-readable reporting of simulation outcomes (examples and benches).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace eotora::sim {
+
+// One-line-per-policy comparison table (avg latency / cost / backlog / time).
+void print_comparison(std::ostream& os,
+                      const std::vector<SimulationResult>& results,
+                      double budget_per_slot);
+
+// Scenario overview: topology sizes, bandwidth ranges, budget — the header
+// examples print before running.
+void print_scenario(std::ostream& os, const Scenario& scenario);
+
+}  // namespace eotora::sim

@@ -1,0 +1,167 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+#include <string>
+
+#include "energy/fit.h"
+#include "topology/builder.h"
+#include "util/check.h"
+
+namespace eotora::sim {
+
+namespace {
+
+std::shared_ptr<topology::Topology> build_topology(
+    const ScenarioConfig& config, util::Rng& rng) {
+  EOTORA_REQUIRE(config.low_band_stations >= 1);
+  EOTORA_REQUIRE(config.clusters >= 1);
+  EOTORA_REQUIRE(config.servers_per_cluster >= 1);
+  EOTORA_REQUIRE(config.devices >= 1);
+
+  topology::TopologyBuilder builder;
+  const double side = config.region_m;
+  builder.set_region(topology::Region{side, side});
+
+  // Server rooms spread along the diagonal of the region.
+  std::vector<topology::ClusterId> clusters;
+  for (std::size_t m = 0; m < config.clusters; ++m) {
+    const double frac = (static_cast<double>(m) + 1.0) /
+                        (static_cast<double>(config.clusters) + 1.0);
+    clusters.push_back(builder.add_cluster(
+        "room-" + std::to_string(m), topology::Point{frac * side, frac * side}));
+  }
+
+  // Heterogeneous servers: alternating 64 / 128 cores ("half of the sixteen
+  // servers have 64 cores, and others have 128"), per-server perturbed
+  // quadratic energy models.
+  const energy::QuadraticEnergy reference = energy::reference_cpu_fit();
+  std::size_t server_index = 0;
+  for (std::size_t m = 0; m < config.clusters; ++m) {
+    for (std::size_t j = 0; j < config.servers_per_cluster; ++j) {
+      const int cores = (server_index % 2 == 0) ? 64 : 128;
+      auto model = std::make_shared<energy::QuadraticEnergy>(
+          energy::perturbed_model(reference, rng));
+      builder.add_server("server-" + std::to_string(server_index),
+                         clusters[m], cores, 1.8, 3.6, std::move(model));
+      ++server_index;
+    }
+  }
+
+  // Low-band stations: whole-region coverage, wireless fronthaul reaching
+  // every room.
+  std::vector<topology::ClusterId> all_clusters = clusters;
+  const double full_radius = side * std::sqrt(2.0);  // covers every corner
+  for (std::size_t b = 0; b < config.low_band_stations; ++b) {
+    const double frac = (static_cast<double>(b) + 1.0) /
+                        (static_cast<double>(config.low_band_stations) + 1.0);
+    builder.add_base_station(
+        "low-band-" + std::to_string(b),
+        topology::Point{frac * side, (1.0 - frac) * side}, topology::Band::kLow,
+        full_radius, rng.uniform(50e6, 100e6), rng.uniform(0.5e9, 1e9),
+        /*fronthaul_spectral_efficiency=*/10.0, all_clusters);
+  }
+
+  // Mid-band stations: ~hundred-meter-class cells on a jittered grid, wired
+  // fronthaul to one random room.
+  for (std::size_t b = 0; b < config.mid_band_stations; ++b) {
+    const topology::Point position{rng.uniform(0.15 * side, 0.85 * side),
+                                   rng.uniform(0.15 * side, 0.85 * side)};
+    const topology::ClusterId room = clusters[rng.index(clusters.size())];
+    builder.add_base_station("mid-band-" + std::to_string(b), position,
+                             topology::Band::kMid,
+                             /*coverage_radius_m=*/rng.uniform(0.25, 0.45) *
+                                 side,
+                             rng.uniform(50e6, 100e6), rng.uniform(0.5e9, 1e9),
+                             /*fronthaul_spectral_efficiency=*/10.0, {room});
+  }
+
+  for (std::size_t i = 0; i < config.devices; ++i) {
+    builder.add_device("device-" + std::to_string(i),
+                       topology::Point{rng.uniform(0.0, side),
+                                       rng.uniform(0.0, side)},
+                       /*speed_mps=*/rng.uniform(0.5, 2.5));
+  }
+
+  return std::make_shared<topology::Topology>(builder.build());
+}
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+  util::Rng rng(config.seed);
+  util::Rng topo_rng = rng.fork();
+  util::Rng sigma_rng = rng.fork();
+  util::Rng task_rng = rng.fork();
+  util::Rng data_rng = rng.fork();
+  util::Rng price_rng = rng.fork();
+  util::Rng channel_rng = rng.fork();
+  util::Rng mobility_rng = rng.fork();
+
+  topology_ = build_topology(config, topo_rng);
+  instance_ = std::make_unique<core::Instance>(
+      topology_,
+      core::Instance::random_sigma(config.devices, topology_->num_servers(),
+                                   sigma_rng),
+      config.budget_per_slot, config.slot_hours);
+
+  trace::WorkloadTraceConfig task_config;
+  task_config.period = config.period;
+  task_config.devices = config.devices;
+  task_config.low = 50e6;    // 50 megacycles
+  task_config.high = 200e6;  // 200 megacycles
+  task_config.trend_weight = config.workload_trend_weight;
+  task_trace_ = std::make_unique<trace::WorkloadTrace>(task_config, task_rng);
+
+  trace::WorkloadTraceConfig data_config;
+  data_config.period = config.period;
+  data_config.devices = config.devices;
+  data_config.low = 3e6;    // 3 megabits
+  data_config.high = 10e6;  // 10 megabits
+  data_config.trend_weight = config.workload_trend_weight;
+  data_trace_ = std::make_unique<trace::WorkloadTrace>(data_config, data_rng);
+
+  trace::PriceTraceConfig price_config = config.price;
+  price_config.period = config.period;
+  price_trace_ = std::make_unique<trace::PriceTrace>(price_config, price_rng);
+
+  channel_ = std::make_unique<topology::ChannelModel>(
+      config.channel, *topology_, channel_rng);
+  // Devices move a bounded distance per slot (a few hundred meters at
+  // pedestrian speed) so coverage changes gradually instead of resampling
+  // uniformly every slot.
+  if (config.mobility == ScenarioConfig::Mobility::kRandomWaypoint) {
+    waypoint_mobility_ = std::make_unique<topology::RandomWaypointMobility>(
+        topology::MobilityConfig{/*slot_duration_s=*/120.0,
+                                 /*pause_probability=*/0.1},
+        config.devices, mobility_rng);
+  } else {
+    gauss_markov_mobility_ =
+        std::make_unique<topology::GaussMarkovMobility>(
+            topology::GaussMarkovMobility::Config{}, config.devices,
+            mobility_rng);
+  }
+}
+
+core::SlotState Scenario::next_state() {
+  if (waypoint_mobility_ != nullptr) {
+    waypoint_mobility_->step(*topology_);
+  } else {
+    gauss_markov_mobility_->step(*topology_);
+  }
+  core::SlotState state;
+  state.slot = slot_++;
+  state.task_cycles = task_trace_->next();
+  state.data_bits = data_trace_->next();
+  state.channel = channel_->step(*topology_);
+  state.price_per_mwh = price_trace_->next();
+  return state;
+}
+
+std::vector<core::SlotState> Scenario::generate_states(std::size_t horizon) {
+  std::vector<core::SlotState> states;
+  states.reserve(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) states.push_back(next_state());
+  return states;
+}
+
+}  // namespace eotora::sim

@@ -1,0 +1,89 @@
+// Scenario factory reproducing the paper's simulation settings (§VI-A) plus
+// the stateful generators that produce β_t slot by slot.
+//
+// Paper settings reproduced by default:
+//   - 6 base stations, 2 edge server rooms, 8 servers per room
+//   - half the servers have 64 cores, the other half 128
+//   - access bandwidth drawn in [50, 100] MHz per BS (mid-band n77)
+//   - access spectrum efficiency in [15, 50] bps/Hz
+//   - wired fronthaul, bandwidth in [0.5, 1] GHz, spectrum efficiency 10
+//   - each (mid-band) BS randomly connects to one server room
+//   - task sizes f in [50, 200] megacycles; data lengths d in [3, 10] Mb
+//   - suitability σ in [0.5, 1]
+//   - per-server energy: perturbed quadratic fits of the i7-3770K data
+//   - prices: NYISO-like synthetic hourly trace
+// Two wide-coverage low-band stations (reaching both rooms) guarantee every
+// device always has a feasible option while mid-band cells come and go with
+// mobility — matching Fig. 1's mixed-coverage topology.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "topology/channel_model.h"
+#include "topology/mobility.h"
+#include "topology/topology.h"
+#include "trace/price_trace.h"
+#include "trace/workload_trace.h"
+#include "util/rng.h"
+
+namespace eotora::sim {
+
+struct ScenarioConfig {
+  // Which mobility process drives device positions.
+  enum class Mobility { kRandomWaypoint, kGaussMarkov };
+
+  std::size_t devices = 100;
+  std::size_t mid_band_stations = 4;   // + 2 low-band = 6 total by default
+  std::size_t low_band_stations = 2;
+  std::size_t clusters = 2;
+  std::size_t servers_per_cluster = 8;
+  double budget_per_slot = 1.0;  // C̄ in dollars per slot
+  double slot_hours = 1.0;       // hourly slots (NYISO prices are hourly)
+  std::size_t period = 24;       // D: slots per day
+  double region_m = 2000.0;      // square service-area side
+  std::uint64_t seed = 42;
+  // State-process knobs.
+  double workload_trend_weight = 0.5;  // non-iid share of f and d
+  trace::PriceTraceConfig price;
+  Mobility mobility = Mobility::kRandomWaypoint;
+  topology::ChannelConfig channel;  // attenuation shape, shadowing, bounds
+};
+
+// A fully wired scenario: the topology, the immutable problem instance, and
+// the stateful generators. Use next_state() to draw β_1, β_2, ... — or
+// generate_states() to pre-draw a horizon so several policies can be
+// compared on identical state sequences.
+class Scenario {
+ public:
+  Scenario(const ScenarioConfig& config);
+
+  [[nodiscard]] const core::Instance& instance() const { return *instance_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] const topology::Topology& topology() const {
+    return *topology_;
+  }
+
+  // Advances mobility, channels, workloads, and price by one slot.
+  [[nodiscard]] core::SlotState next_state();
+
+  // Draws the next `horizon` states.
+  [[nodiscard]] std::vector<core::SlotState> generate_states(
+      std::size_t horizon);
+
+ private:
+  ScenarioConfig config_;
+  std::shared_ptr<topology::Topology> topology_;
+  std::unique_ptr<core::Instance> instance_;
+  std::unique_ptr<trace::WorkloadTrace> task_trace_;  // f, in cycles
+  std::unique_ptr<trace::WorkloadTrace> data_trace_;  // d, in bits
+  std::unique_ptr<trace::PriceTrace> price_trace_;
+  std::unique_ptr<topology::ChannelModel> channel_;
+  std::unique_ptr<topology::RandomWaypointMobility> waypoint_mobility_;
+  std::unique_ptr<topology::GaussMarkovMobility> gauss_markov_mobility_;
+  std::size_t slot_ = 0;
+};
+
+}  // namespace eotora::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace eotora::sim {
+
+SimulationResult run_policy(Policy& policy,
+                            const std::vector<core::SlotState>& states,
+                            std::uint64_t seed) {
+  EOTORA_REQUIRE(!states.empty());
+  policy.reset();
+  util::Rng rng(seed);
+  SimulationResult result;
+  result.policy_name = policy.name();
+  util::Timer timer;
+  for (const auto& state : states) {
+    result.metrics.record(policy.step(state, rng));
+  }
+  result.wall_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+WindowAverages tail_averages(const SimulationResult& result,
+                             std::size_t window) {
+  const auto& latency = result.metrics.latency_series();
+  const auto& cost = result.metrics.cost_series();
+  const auto& queue = result.metrics.queue_series();
+  EOTORA_REQUIRE(window > 0);
+  EOTORA_REQUIRE_MSG(window <= latency.size(),
+                     "window=" << window << " slots=" << latency.size());
+  WindowAverages averages;
+  for (std::size_t t = latency.size() - window; t < latency.size(); ++t) {
+    averages.latency += latency[t];
+    averages.energy_cost += cost[t];
+    averages.queue += queue[t];
+  }
+  const double w = static_cast<double>(window);
+  averages.latency /= w;
+  averages.energy_cost /= w;
+  averages.queue /= w;
+  return averages;
+}
+
+}  // namespace eotora::sim

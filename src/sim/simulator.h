@@ -1,0 +1,38 @@
+// The slot-driven simulation loop.
+//
+// run_policy() drives one policy across a pre-generated state sequence so
+// different policies can be compared on IDENTICAL inputs (as the paper's
+// Fig. 9 requires), collecting the per-slot and aggregate metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "sim/policy.h"
+
+namespace eotora::sim {
+
+struct SimulationResult {
+  std::string policy_name;
+  core::MetricsCollector metrics;
+  double wall_seconds = 0.0;  // total decision-making time
+};
+
+// Runs `policy` over `states` with a deterministic rng seed. The policy is
+// reset() first.
+[[nodiscard]] SimulationResult run_policy(
+    Policy& policy, const std::vector<core::SlotState>& states,
+    std::uint64_t seed = 1);
+
+// Convenience: averages of the last `window` slots (the paper averages over
+// 48-slot windows in Fig. 9). Requires window <= recorded slots.
+struct WindowAverages {
+  double latency = 0.0;
+  double energy_cost = 0.0;
+  double queue = 0.0;
+};
+[[nodiscard]] WindowAverages tail_averages(const SimulationResult& result,
+                                           std::size_t window);
+
+}  // namespace eotora::sim

@@ -1,0 +1,80 @@
+#include "topology/channel_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace eotora::topology {
+
+ChannelModel::ChannelModel(const ChannelConfig& config,
+                           const Topology& topology, util::Rng rng)
+    : config_(config),
+      num_devices_(topology.num_devices()),
+      num_base_stations_(topology.num_base_stations()),
+      rng_(rng) {
+  EOTORA_REQUIRE(config.min_efficiency > 0.0);
+  EOTORA_REQUIRE(config.max_efficiency >= config.min_efficiency);
+  EOTORA_REQUIRE(config.edge_factor > 0.0 && config.edge_factor <= 1.0);
+  EOTORA_REQUIRE(config.shadowing_rho >= 0.0 && config.shadowing_rho < 1.0);
+  EOTORA_REQUIRE(config.shadowing_stddev >= 0.0);
+  base_efficiency_.reserve(num_base_stations_);
+  for (std::size_t k = 0; k < num_base_stations_; ++k) {
+    base_efficiency_.push_back(
+        rng_.uniform(config.min_efficiency, config.max_efficiency));
+  }
+  // Start shadowing from its stationary distribution so early slots are not
+  // systematically calmer than later ones.
+  const double stationary_stddev =
+      config.shadowing_stddev /
+      std::sqrt(1.0 - config.shadowing_rho * config.shadowing_rho);
+  shadowing_.assign(num_devices_, std::vector<double>(num_base_stations_));
+  for (auto& row : shadowing_) {
+    for (double& s : row) s = rng_.normal(0.0, stationary_stddev);
+  }
+}
+
+ChannelMatrix ChannelModel::step(const Topology& topology) {
+  EOTORA_REQUIRE(topology.num_devices() == num_devices_);
+  EOTORA_REQUIRE(topology.num_base_stations() == num_base_stations_);
+  ChannelMatrix h(num_devices_, std::vector<double>(num_base_stations_, 0.0));
+  for (std::size_t i = 0; i < num_devices_; ++i) {
+    const Point pos = topology.device(DeviceId{i}).position;
+    for (std::size_t k = 0; k < num_base_stations_; ++k) {
+      double& s = shadowing_[i][k];
+      s = config_.shadowing_rho * s +
+          rng_.normal(0.0, config_.shadowing_stddev);
+      const BaseStation& bs = topology.base_station(BaseStationId{k});
+      const double d = distance(bs.position, pos);
+      if (d > bs.coverage_radius_m) continue;  // uncovered -> h = 0
+      double attenuation = 1.0;
+      if (config_.attenuation == ChannelConfig::Attenuation::kLinear) {
+        // Linear from 1.0 at the BS to edge_factor at the edge.
+        const double frac = d / bs.coverage_radius_m;
+        attenuation = 1.0 - (1.0 - config_.edge_factor) * frac;
+      } else {
+        // Log-distance silhouette (d0/d)^eta, flat inside d0, renormalized
+        // so the coverage edge lands exactly on edge_factor.
+        const double d0 = config_.reference_distance_m;
+        auto shape = [&](double dist) {
+          return std::pow(d0 / std::max(dist, d0),
+                          config_.pathloss_exponent);
+        };
+        const double edge_shape = shape(bs.coverage_radius_m);
+        const double s = shape(d);
+        // Affine map: shape 1 -> 1, shape at edge -> edge_factor.
+        attenuation = edge_shape >= 1.0
+                          ? 1.0
+                          : config_.edge_factor +
+                                (1.0 - config_.edge_factor) *
+                                    (s - edge_shape) / (1.0 - edge_shape);
+      }
+      const double raw = base_efficiency_[k] * attenuation + s;
+      h[i][k] =
+          std::clamp(raw, config_.min_efficiency, config_.max_efficiency);
+    }
+  }
+  return h;
+}
+
+}  // namespace eotora::topology

@@ -1,0 +1,53 @@
+#include "topology/coverage.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace eotora::topology {
+
+CoverageReport analyze_coverage(const Topology& topology, std::size_t samples,
+                                util::Rng& rng) {
+  EOTORA_REQUIRE(samples >= 1);
+  CoverageReport report;
+  report.samples = samples;
+  std::size_t covered = 0;
+  std::size_t diverse = 0;
+  double station_sum = 0.0;
+  double server_sum = 0.0;
+  double worst_servers = std::numeric_limits<double>::infinity();
+  std::vector<bool> reachable(topology.num_servers(), false);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const Point point{rng.uniform(0.0, topology.region().width),
+                      rng.uniform(0.0, topology.region().height)};
+    const auto covering = topology.covering_base_stations(point);
+    if (covering.empty()) continue;
+    ++covered;
+    if (covering.size() >= 2) ++diverse;
+    station_sum += static_cast<double>(covering.size());
+    std::fill(reachable.begin(), reachable.end(), false);
+    for (BaseStationId k : covering) {
+      for (ServerId n : topology.reachable_servers(k)) {
+        reachable[n.value] = true;
+      }
+    }
+    const double servers = static_cast<double>(
+        std::count(reachable.begin(), reachable.end(), true));
+    server_sum += servers;
+    worst_servers = std::min(worst_servers, servers);
+  }
+  const double n = static_cast<double>(samples);
+  report.covered_fraction = static_cast<double>(covered) / n;
+  report.diversity_fraction = static_cast<double>(diverse) / n;
+  if (covered > 0) {
+    report.mean_covering_stations =
+        station_sum / static_cast<double>(covered);
+    report.mean_reachable_servers = server_sum / static_cast<double>(covered);
+    report.min_reachable_servers = worst_servers;
+  }
+  return report;
+}
+
+}  // namespace eotora::topology

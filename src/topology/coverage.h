@@ -1,0 +1,29 @@
+// Monte Carlo coverage analysis of a deployment.
+//
+// Answers the planning questions a Fig.-1-style topology raises: what
+// fraction of the service area is covered at all, how much enjoys
+// base-station diversity (>= 2 covering cells, i.e. a real selection
+// decision), and how many servers a point can reach through its covering
+// stations' fronthaul.
+#pragma once
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace eotora::topology {
+
+struct CoverageReport {
+  std::size_t samples = 0;
+  double covered_fraction = 0.0;     // >= 1 covering base station
+  double diversity_fraction = 0.0;   // >= 2 covering base stations
+  double mean_covering_stations = 0.0;
+  double mean_reachable_servers = 0.0;  // union over covering stations
+  double min_reachable_servers = 0.0;   // worst covered sample point
+};
+
+// Samples `samples` uniform points in the region. Requires samples >= 1.
+[[nodiscard]] CoverageReport analyze_coverage(const Topology& topology,
+                                              std::size_t samples,
+                                              util::Rng& rng);
+
+}  // namespace eotora::topology

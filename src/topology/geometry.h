@@ -1,0 +1,38 @@
+// 2-D plane geometry for device positions and base-station coverage.
+#pragma once
+
+#include <cmath>
+
+namespace eotora::topology {
+
+struct Point {
+  double x = 0.0;  // meters
+  double y = 0.0;  // meters
+
+  friend constexpr bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+[[nodiscard]] inline double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// Axis-aligned rectangular region (the simulated service area).
+struct Region {
+  double width = 1000.0;   // meters
+  double height = 1000.0;  // meters
+
+  [[nodiscard]] bool contains(Point p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+
+  [[nodiscard]] Point clamp(Point p) const {
+    return Point{p.x < 0.0 ? 0.0 : (p.x > width ? width : p.x),
+                 p.y < 0.0 ? 0.0 : (p.y > height ? height : p.y)};
+  }
+};
+
+}  // namespace eotora::topology

@@ -1,0 +1,42 @@
+// Strongly typed indices for the MEC entities.
+//
+// Base stations, clusters, servers, and devices are all dense 0-based
+// indices; distinct wrapper types stop a server index from being passed where
+// a base-station index is expected.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace eotora::topology {
+
+template <typename Tag>
+struct Id {
+  std::size_t value = 0;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::size_t v) : value(v) {}
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+struct BaseStationTag {};
+struct ClusterTag {};
+struct ServerTag {};
+struct DeviceTag {};
+
+using BaseStationId = Id<BaseStationTag>;
+using ClusterId = Id<ClusterTag>;
+using ServerId = Id<ServerTag>;
+using DeviceId = Id<DeviceTag>;
+
+}  // namespace eotora::topology
+
+template <typename Tag>
+struct std::hash<eotora::topology::Id<Tag>> {
+  std::size_t operator()(eotora::topology::Id<Tag> id) const noexcept {
+    return std::hash<std::size_t>{}(id.value);
+  }
+};

@@ -1,0 +1,75 @@
+// The immutable MEC network: entities plus the connectivity relations the
+// optimization constraints are written against.
+//
+//   - coverage:      D_i can use B_k only when within B_k's coverage radius
+//   - fronthaul:     B_k reaches the servers of its connected clusters
+//   - N_i(x): servers reachable by device i given its base-station choice
+#pragma once
+
+#include <vector>
+
+#include "topology/entities.h"
+
+namespace eotora::topology {
+
+class Topology {
+ public:
+  // Takes ownership of fully populated entity lists and validates global
+  // invariants (ids dense and in order, clusters/servers consistent, every
+  // BS connected to >= 1 existing cluster, every cluster non-empty, server
+  // frequency ranges sane). Throws std::invalid_argument on violations.
+  Topology(std::vector<BaseStation> base_stations,
+           std::vector<Cluster> clusters, std::vector<Server> servers,
+           std::vector<MobileDevice> devices, Region region);
+
+  [[nodiscard]] std::size_t num_base_stations() const {
+    return base_stations_.size();
+  }
+  [[nodiscard]] std::size_t num_clusters() const { return clusters_.size(); }
+  [[nodiscard]] std::size_t num_servers() const { return servers_.size(); }
+  [[nodiscard]] std::size_t num_devices() const { return devices_.size(); }
+
+  [[nodiscard]] const BaseStation& base_station(BaseStationId id) const;
+  [[nodiscard]] const Cluster& cluster(ClusterId id) const;
+  [[nodiscard]] const Server& server(ServerId id) const;
+  [[nodiscard]] const MobileDevice& device(DeviceId id) const;
+
+  [[nodiscard]] const std::vector<BaseStation>& base_stations() const {
+    return base_stations_;
+  }
+  [[nodiscard]] const std::vector<Cluster>& clusters() const {
+    return clusters_;
+  }
+  [[nodiscard]] const std::vector<Server>& servers() const { return servers_; }
+  [[nodiscard]] const std::vector<MobileDevice>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] const Region& region() const { return region_; }
+
+  // True when `position` lies inside base station k's coverage disc.
+  [[nodiscard]] bool covers(BaseStationId k, Point position) const;
+
+  // Base stations covering the given position (in id order). May be empty —
+  // callers decide how to handle uncovered devices.
+  [[nodiscard]] std::vector<BaseStationId> covering_base_stations(
+      Point position) const;
+
+  // Servers reachable via base station k's fronthaul (precomputed, id order).
+  [[nodiscard]] const std::vector<ServerId>& reachable_servers(
+      BaseStationId k) const;
+
+  // Updates a device position (mobility). The position is clamped to the
+  // region.
+  void set_device_position(DeviceId i, Point position);
+
+ private:
+  std::vector<BaseStation> base_stations_;
+  std::vector<Cluster> clusters_;
+  std::vector<Server> servers_;
+  std::vector<MobileDevice> devices_;
+  Region region_;
+  // reachable_[k] = sorted server ids reachable from base station k.
+  std::vector<std::vector<ServerId>> reachable_;
+};
+
+}  // namespace eotora::topology

@@ -1,0 +1,63 @@
+#include "trace/decompose.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace eotora::trace {
+
+Decomposition decompose(const std::vector<double>& series,
+                        std::size_t period) {
+  EOTORA_REQUIRE(period >= 1);
+  EOTORA_REQUIRE_MSG(series.size() >= period,
+                     "series length " << series.size() << " < period "
+                                      << period);
+  std::vector<double> phase_sum(period, 0.0);
+  std::vector<std::size_t> phase_count(period, 0);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    phase_sum[t % period] += series[t];
+    ++phase_count[t % period];
+  }
+  std::vector<double> trend_values(period, 0.0);
+  for (std::size_t p = 0; p < period; ++p) {
+    EOTORA_ASSERT(phase_count[p] > 0);
+    trend_values[p] = phase_sum[p] / static_cast<double>(phase_count[p]);
+  }
+  Decomposition result{PeriodicTrend(std::move(trend_values)), {}, 0.0, 0.0};
+  result.residual.reserve(series.size());
+  double sum = 0.0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const double r = series[t] - result.trend.at(t);
+    result.residual.push_back(r);
+    sum += r;
+  }
+  result.residual_mean = sum / static_cast<double>(series.size());
+  double var = 0.0;
+  for (double r : result.residual) {
+    var += (r - result.residual_mean) * (r - result.residual_mean);
+  }
+  result.residual_stddev =
+      std::sqrt(var / static_cast<double>(series.size()));
+  return result;
+}
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  EOTORA_REQUIRE(!series.empty());
+  EOTORA_REQUIRE_MSG(lag < series.size(),
+                     "lag=" << lag << " size=" << series.size());
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(series.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    den += (series[t] - mean) * (series[t] - mean);
+    if (t + lag < series.size()) {
+      num += (series[t] - mean) * (series[t + lag] - mean);
+    }
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+}  // namespace eotora::trace

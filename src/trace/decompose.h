@@ -1,0 +1,33 @@
+// Period-fold decomposition: estimates the periodic trend s̄ and the residual
+// noise statistics from an observed series, given the period D.
+//
+// The DPP analysis (Theorem 4) depends on the states being trend + iid noise;
+// this utility lets users check that assumption on their own traces and lets
+// tests verify the synthetic generators actually have the promised structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/periodic.h"
+
+namespace eotora::trace {
+
+struct Decomposition {
+  PeriodicTrend trend;           // per-phase means (one period long)
+  std::vector<double> residual;  // observation minus trend at each slot
+  double residual_mean = 0.0;
+  double residual_stddev = 0.0;
+};
+
+// Folds `series` modulo `period` and averages each phase to estimate the
+// trend. Requires period >= 1 and series.size() >= period.
+[[nodiscard]] Decomposition decompose(const std::vector<double>& series,
+                                      std::size_t period);
+
+// Autocorrelation of a series at the given lag (biased estimator). Used to
+// check residual whiteness and trend periodicity. Requires lag < size.
+[[nodiscard]] double autocorrelation(const std::vector<double>& series,
+                                     std::size_t lag);
+
+}  // namespace eotora::trace

@@ -1,0 +1,44 @@
+// iid noise components for the state processes (the e_t terms of §III-A).
+#pragma once
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace eotora::trace {
+
+// Zero-mean iid noise, truncated so that trend + noise stays within sane
+// physical bounds (task sizes, prices, ... must remain positive).
+class NoiseModel {
+ public:
+  enum class Kind { kGaussian, kUniform };
+
+  // Gaussian: stddev = `spread`. Uniform: support [-spread, spread].
+  NoiseModel(Kind kind, double spread) : kind_(kind), spread_(spread) {
+    EOTORA_REQUIRE_MSG(spread >= 0.0, "spread=" << spread);
+  }
+
+  // Draws one sample, clamped to [-3*spread, 3*spread] for the Gaussian kind
+  // so a single outlier cannot push a state negative.
+  [[nodiscard]] double sample(util::Rng& rng) const {
+    if (spread_ == 0.0) return 0.0;
+    switch (kind_) {
+      case Kind::kUniform:
+        return rng.uniform(-spread_, spread_);
+      case Kind::kGaussian: {
+        const double x = rng.normal(0.0, spread_);
+        const double bound = 3.0 * spread_;
+        return x < -bound ? -bound : (x > bound ? bound : x);
+      }
+    }
+    return 0.0;  // unreachable
+  }
+
+  [[nodiscard]] double spread() const { return spread_; }
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+  double spread_;
+};
+
+}  // namespace eotora::trace

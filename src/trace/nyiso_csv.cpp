@@ -1,0 +1,40 @@
+#include "trace/nyiso_csv.h"
+
+#include "trace/decompose.h"
+#include "util/check.h"
+
+namespace eotora::trace {
+
+PriceSeries make_price_series(const std::vector<Series>& series,
+                              const std::string& column, std::size_t period) {
+  EOTORA_REQUIRE(period >= 1);
+  const Series* found = nullptr;
+  for (const auto& s : series) {
+    if (s.name == column) {
+      found = &s;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    std::string known;
+    for (const auto& s : series) known += " '" + s.name + "'";
+    throw std::invalid_argument("price column '" + column +
+                                "' not found; available:" + known);
+  }
+  EOTORA_REQUIRE_MSG(found->values.size() >= period,
+                     "need at least one full period of prices ("
+                         << period << "), got " << found->values.size());
+  for (double p : found->values) {
+    EOTORA_REQUIRE_MSG(p > 0.0, "non-positive price " << p);
+  }
+  const Decomposition decomposition = decompose(found->values, period);
+  return PriceSeries{found->values, decomposition.trend,
+                     decomposition.residual_stddev};
+}
+
+PriceSeries load_price_csv(const std::string& path, const std::string& column,
+                           std::size_t period) {
+  return make_price_series(load_csv(path), column, period);
+}
+
+}  // namespace eotora::trace

@@ -1,0 +1,38 @@
+// Ingesting real electricity-price CSV files (e.g. NYISO day-ahead LBMP
+// exports) into the simulator.
+//
+// The paper drives its experiments with NYISO hourly prices; this adapter
+// lets users do literally that: point it at a CSV with a price column and
+// get the per-slot price series plus the decomposition the state model
+// needs (periodic trend + residual). Column selection is by name, so any
+// ISO's export format works as long as it is numeric CSV with a header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/periodic.h"
+#include "trace/trace_io.h"
+
+namespace eotora::trace {
+
+struct PriceSeries {
+  std::vector<double> prices;  // one per slot, $/MWh
+  PeriodicTrend trend;         // period-folded daily trend
+  double residual_stddev = 0.0;
+};
+
+// Reads `column` from a numeric CSV with a header row and folds it modulo
+// `period`. Requires the column to exist, hold positive prices, and span at
+// least one full period. Throws std::invalid_argument on violations and
+// std::runtime_error when the file is unreadable.
+[[nodiscard]] PriceSeries load_price_csv(const std::string& path,
+                                         const std::string& column,
+                                         std::size_t period = 24);
+
+// Same, from pre-parsed series (for tests and in-memory data).
+[[nodiscard]] PriceSeries make_price_series(const std::vector<Series>& series,
+                                            const std::string& column,
+                                            std::size_t period = 24);
+
+}  // namespace eotora::trace

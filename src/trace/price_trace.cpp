@@ -1,0 +1,43 @@
+#include "trace/price_trace.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace eotora::trace {
+
+PriceTrace::PriceTrace(const PriceTraceConfig& config, util::Rng rng)
+    : trend_(PeriodicTrend::diurnal(config.period, config.off_peak_price,
+                                    config.peak_price,
+                                    /*peak_position=*/0.75)),
+      noise_(NoiseModel::Kind::kGaussian, config.noise_stddev),
+      config_(config),
+      rng_(rng) {
+  EOTORA_REQUIRE(config.off_peak_price > 0.0);
+  EOTORA_REQUIRE(config.peak_price >= config.off_peak_price);
+  EOTORA_REQUIRE(config.spike_probability >= 0.0 &&
+                 config.spike_probability <= 1.0);
+  EOTORA_REQUIRE(config.spike_multiplier >= 1.0);
+  EOTORA_REQUIRE(config.floor_price > 0.0);
+}
+
+double PriceTrace::next() {
+  double price = trend_.at(slot_) + noise_.sample(rng_);
+  if (config_.spike_probability > 0.0 &&
+      rng_.bernoulli(config_.spike_probability)) {
+    price *= config_.spike_multiplier;
+  }
+  ++slot_;
+  return std::max(price, config_.floor_price);
+}
+
+std::vector<double> PriceTrace::generate(const PriceTraceConfig& config,
+                                         std::size_t horizon, util::Rng rng) {
+  PriceTrace trace(config, rng);
+  std::vector<double> prices;
+  prices.reserve(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) prices.push_back(trace.next());
+  return prices;
+}
+
+}  // namespace eotora::trace

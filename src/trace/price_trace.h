@@ -1,0 +1,54 @@
+// Synthetic NYISO-like hourly electricity price process (paper Fig. 2).
+//
+// The paper drives its simulation with real NYISO hourly prices; the
+// algorithm only relies on the structure p_t = p̄_t + e_t with periodic p̄.
+// PriceTrace reproduces that structure with a diurnal trend calibrated to
+// typical NYISO LBMP ranges plus iid noise and occasional price spikes
+// (scarcity events), so the DPP queue sees the same qualitative signal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/noise.h"
+#include "trace/periodic.h"
+#include "util/rng.h"
+
+namespace eotora::trace {
+
+struct PriceTraceConfig {
+  std::size_t period = 24;        // slots per day (hourly slots)
+  double off_peak_price = 20.0;   // $/MWh trough
+  double peak_price = 90.0;       // $/MWh evening peak
+  double noise_stddev = 6.0;      // $/MWh iid Gaussian noise
+  double spike_probability = 0.01;  // per-slot scarcity-spike probability
+  double spike_multiplier = 3.0;    // spike scales the trend by this factor
+  double floor_price = 1.0;         // prices never drop below this
+};
+
+class PriceTrace {
+ public:
+  PriceTrace(const PriceTraceConfig& config, util::Rng rng);
+
+  // Price at the next slot (advances the internal noise stream).
+  [[nodiscard]] double next();
+
+  // Periodic trend value at slot t (no noise).
+  [[nodiscard]] double trend_at(std::size_t t) const { return trend_.at(t); }
+
+  [[nodiscard]] std::size_t period() const { return trend_.period(); }
+  [[nodiscard]] std::size_t slot() const { return slot_; }
+
+  // Pre-generates `horizon` prices (fresh stream, does not disturb `next`).
+  [[nodiscard]] static std::vector<double> generate(
+      const PriceTraceConfig& config, std::size_t horizon, util::Rng rng);
+
+ private:
+  PeriodicTrend trend_;
+  NoiseModel noise_;
+  PriceTraceConfig config_;
+  util::Rng rng_;
+  std::size_t slot_ = 0;
+};
+
+}  // namespace eotora::trace

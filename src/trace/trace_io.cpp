@@ -1,0 +1,82 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace eotora::trace {
+
+void write_csv(std::ostream& os, const std::vector<Series>& series) {
+  EOTORA_REQUIRE(!series.empty());
+  const std::size_t length = series.front().values.size();
+  for (const auto& s : series) {
+    EOTORA_REQUIRE_MSG(s.values.size() == length,
+                       "series '" << s.name << "' has " << s.values.size()
+                                  << " values, expected " << length);
+  }
+  for (std::size_t c = 0; c < series.size(); ++c) {
+    if (c > 0) os << ',';
+    os << series[c].name;
+  }
+  os << '\n';
+  std::ostringstream row;
+  row.precision(17);
+  for (std::size_t t = 0; t < length; ++t) {
+    row.str("");
+    for (std::size_t c = 0; c < series.size(); ++c) {
+      if (c > 0) row << ',';
+      row << series[c].values[t];
+    }
+    os << row.str() << '\n';
+  }
+}
+
+std::vector<Series> read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("read_csv: empty input");
+  }
+  std::vector<Series> series;
+  for (const auto& name : util::split(util::trim(line), ',')) {
+    series.push_back(Series{util::trim(name), {}});
+  }
+  std::size_t row_number = 1;
+  while (std::getline(is, line)) {
+    ++row_number;
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = util::split(trimmed, ',');
+    if (fields.size() != series.size()) {
+      throw std::invalid_argument("read_csv: row " +
+                                  std::to_string(row_number) + " has " +
+                                  std::to_string(fields.size()) +
+                                  " fields, expected " +
+                                  std::to_string(series.size()));
+    }
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      series[c].values.push_back(util::parse_double(fields[c]));
+    }
+  }
+  return series;
+}
+
+void save_csv(const std::string& path, const std::vector<Series>& series) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("save_csv: cannot open '" + path + "'");
+  }
+  write_csv(file, series);
+}
+
+std::vector<Series> load_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("load_csv: cannot open '" + path + "'");
+  }
+  return read_csv(file);
+}
+
+}  // namespace eotora::trace

@@ -1,0 +1,30 @@
+// CSV import/export for traces, so users can feed real data (e.g. actual
+// NYISO price files) into the simulator in place of the synthetic processes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eotora::trace {
+
+// A named column-oriented series, one value per slot.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+// Writes series as CSV (first row: names; one row per slot afterwards).
+// All series must be equally long and at least one series must be given.
+void write_csv(std::ostream& os, const std::vector<Series>& series);
+
+// Parses CSV produced by write_csv (or any numeric CSV with a header row).
+// Throws std::invalid_argument on ragged rows or non-numeric fields.
+[[nodiscard]] std::vector<Series> read_csv(std::istream& is);
+
+// File-path conveniences; throw std::runtime_error when the file can't be
+// opened.
+void save_csv(const std::string& path, const std::vector<Series>& series);
+[[nodiscard]] std::vector<Series> load_csv(const std::string& path);
+
+}  // namespace eotora::trace

@@ -1,0 +1,42 @@
+#include "trace/workload_trace.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace eotora::trace {
+
+WorkloadTrace::WorkloadTrace(const WorkloadTraceConfig& config, util::Rng rng)
+    : trend_(PeriodicTrend::constant(0.0)), config_(config), rng_(rng),
+      noise_half_range_(0.0) {
+  EOTORA_REQUIRE(config.devices >= 1);
+  EOTORA_REQUIRE(config.period >= 1);
+  EOTORA_REQUIRE_MSG(config.low > 0.0 && config.low <= config.high,
+                     "low=" << config.low << " high=" << config.high);
+  EOTORA_REQUIRE(config.trend_weight >= 0.0 && config.trend_weight <= 1.0);
+  const double half_range = 0.5 * (config.high - config.low);
+  const double mid = 0.5 * (config.high + config.low);
+  const double trend_amp = half_range * config.trend_weight;
+  noise_half_range_ = half_range - trend_amp;
+  trend_ = config.period >= 2
+               ? PeriodicTrend::diurnal(config.period, mid - trend_amp,
+                                        mid + trend_amp,
+                                        /*peak_position=*/0.8)
+               : PeriodicTrend::constant(mid);
+}
+
+std::vector<double> WorkloadTrace::next() {
+  std::vector<double> values(config_.devices, 0.0);
+  const double base = trend_.at(slot_);
+  for (std::size_t i = 0; i < config_.devices; ++i) {
+    const double noise =
+        noise_half_range_ > 0.0
+            ? rng_.uniform(-noise_half_range_, noise_half_range_)
+            : 0.0;
+    values[i] = std::clamp(base + noise, config_.low, config_.high);
+  }
+  ++slot_;
+  return values;
+}
+
+}  // namespace eotora::trace

@@ -1,0 +1,53 @@
+// Synthetic diurnal workload process for task sizes and data lengths.
+//
+// The paper motivates non-iid workloads with hourly video-view counts (Fig. 2)
+// and draws task sizes f in [50, 200] megacycles and data lengths d in
+// [3, 10] megabits (§VI-A). WorkloadTrace combines both: a periodic demand
+// multiplier (video-views-like diurnal shape) scales the midpoint of the
+// per-device draw, and iid noise supplies the residual, giving
+// f_{i,t} = f̄_{i,t} + e^f_{i,t} exactly as §III-A assumes while keeping every
+// draw inside the paper's range.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/noise.h"
+#include "trace/periodic.h"
+#include "util/rng.h"
+
+namespace eotora::trace {
+
+struct WorkloadTraceConfig {
+  std::size_t period = 24;   // slots per day
+  std::size_t devices = 1;   // number of parallel per-device streams
+  double low = 50.0;         // minimum draw (paper: 50 megacycles / 3 Mb)
+  double high = 200.0;       // maximum draw (paper: 200 megacycles / 10 Mb)
+  // Fraction of the (high - low) range driven by the diurnal trend; the rest
+  // is iid uniform noise. 0 = fully iid (paper's §VI-A draw), 1 = pure trend.
+  double trend_weight = 0.5;
+};
+
+class WorkloadTrace {
+ public:
+  WorkloadTrace(const WorkloadTraceConfig& config, util::Rng rng);
+
+  // Draws per-device values for the next slot; result size == devices.
+  [[nodiscard]] std::vector<double> next();
+
+  // Trend midpoint at slot t for device i (same for all devices by default).
+  [[nodiscard]] double trend_at(std::size_t t) const { return trend_.at(t); }
+
+  [[nodiscard]] std::size_t period() const { return trend_.period(); }
+  [[nodiscard]] std::size_t slot() const { return slot_; }
+  [[nodiscard]] const WorkloadTraceConfig& config() const { return config_; }
+
+ private:
+  PeriodicTrend trend_;
+  WorkloadTraceConfig config_;
+  util::Rng rng_;
+  std::size_t slot_ = 0;
+  double noise_half_range_;
+};
+
+}  // namespace eotora::trace

@@ -1,0 +1,60 @@
+#include "util/args.h"
+
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace eotora::util {
+
+Args::Args(int argc, const char* const* argv,
+           std::set<std::string> allowed) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!starts_with(token, "--")) {
+      throw std::invalid_argument("unexpected argument '" + token +
+                                  "' (expected --key=value)");
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    const std::string key = body.substr(0, eq);
+    if (allowed.find(key) == allowed.end()) {
+      std::string known;
+      for (const auto& k : allowed) known += " --" + k;
+      throw std::invalid_argument("unknown option '--" + key +
+                                  "'; known options:" + known);
+    }
+    values_[key] = eq == std::string::npos ? "" : body.substr(eq + 1);
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return parse_double(it->second);
+}
+
+long Args::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const double value = parse_double(it->second);
+  const long integral = static_cast<long>(value);
+  if (static_cast<double>(integral) != value) {
+    throw std::invalid_argument("option '--" + key +
+                                "' expects an integer, got '" + it->second +
+                                "'");
+  }
+  return integral;
+}
+
+}  // namespace eotora::util

@@ -1,0 +1,35 @@
+// Minimal command-line argument parsing for the example drivers.
+//
+// Supports --key=value and --flag forms. Unknown keys are rejected up front
+// so typos fail loudly instead of silently running defaults.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace eotora::util {
+
+class Args {
+ public:
+  // Parses argv. `allowed` is the complete set of recognized keys (without
+  // the leading dashes). Throws std::invalid_argument on malformed tokens
+  // or unknown keys.
+  Args(int argc, const char* const* argv, std::set<std::string> allowed);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  // Typed getters with defaults. Throw std::invalid_argument when the value
+  // does not parse.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace eotora::util

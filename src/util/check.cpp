@@ -1,0 +1,27 @@
+#include "util/check.h"
+
+namespace eotora::util {
+
+std::string check_message(const char* kind, const char* expr, const char* file,
+                          int line, const std::string& detail) {
+  std::ostringstream oss;
+  oss << file << ':' << line << ": " << kind << " failed: " << expr;
+  if (!detail.empty()) {
+    oss << " (" << detail << ')';
+  }
+  return oss.str();
+}
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& detail) {
+  throw std::invalid_argument(
+      check_message("precondition", expr, file, line, detail));
+}
+
+void throw_invariant(const char* expr, const char* file, int line,
+                     const std::string& detail) {
+  throw std::logic_error(
+      check_message("invariant", expr, file, line, detail));
+}
+
+}  // namespace eotora::util

@@ -1,0 +1,56 @@
+// Lightweight precondition / invariant checking for the eotora library.
+//
+// Following the Core Guidelines (I.6 / I.8) we express contracts explicitly.
+// Violations throw std::invalid_argument (preconditions) or std::logic_error
+// (internal invariants) with a message carrying the failed expression and
+// location, so callers and tests can assert on misuse without aborting the
+// whole process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eotora::util {
+
+// Builds the "<file>:<line>: <kind> failed: <expr>" diagnostic message.
+// `detail` is appended when non-empty.
+[[nodiscard]] std::string check_message(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const std::string& detail);
+
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& detail);
+
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& detail);
+
+}  // namespace eotora::util
+
+// Precondition: caller passed bad arguments -> std::invalid_argument.
+#define EOTORA_REQUIRE(expr)                                                 \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::eotora::util::throw_precondition(#expr, __FILE__, __LINE__, "");     \
+    }                                                                        \
+  } while (false)
+
+// Precondition with a streamed extra message:
+//   EOTORA_REQUIRE_MSG(n > 0, "n=" << n);
+#define EOTORA_REQUIRE_MSG(expr, msg)                                        \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream eotora_oss_;                                        \
+      eotora_oss_ << msg;                                                    \
+      ::eotora::util::throw_precondition(#expr, __FILE__, __LINE__,          \
+                                         eotora_oss_.str());                 \
+    }                                                                        \
+  } while (false)
+
+// Internal invariant: a bug in this library if it fires -> std::logic_error.
+#define EOTORA_ASSERT(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::eotora::util::throw_invariant(#expr, __FILE__, __LINE__, "");        \
+    }                                                                        \
+  } while (false)

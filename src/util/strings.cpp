@@ -1,0 +1,56 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace eotora::util {
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char ch : text) {
+    if (ch == delim) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+double parse_double(const std::string& text) {
+  const std::string trimmed = trim(text);
+  if (trimmed.empty()) {
+    throw std::invalid_argument("parse_double: empty field");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end == trimmed.c_str() || *end != '\0') {
+    throw std::invalid_argument("parse_double: not a number: '" + text + "'");
+  }
+  return value;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace eotora::util

@@ -1,0 +1,23 @@
+// Small string helpers shared across modules (CSV parsing, CLI-ish args).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eotora::util {
+
+// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& text,
+                                             char delim);
+
+// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(const std::string& text);
+
+// Parses a double, throwing std::invalid_argument with context on failure.
+[[nodiscard]] double parse_double(const std::string& text);
+
+// True when `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& text,
+                               const std::string& prefix);
+
+}  // namespace eotora::util

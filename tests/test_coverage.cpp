@@ -1,0 +1,91 @@
+#include "topology/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "energy/quadratic_energy.h"
+#include "sim/scenario.h"
+#include "topology/builder.h"
+
+namespace eotora::topology {
+namespace {
+
+std::shared_ptr<const energy::EnergyModel> model() {
+  return std::make_shared<energy::QuadraticEnergy>(5.0, 2.0, 20.0);
+}
+
+TEST(Coverage, FullCoverageSingleWideCell) {
+  TopologyBuilder builder;
+  builder.set_region({100.0, 100.0});
+  const auto room = builder.add_cluster("room", {50.0, 50.0});
+  builder.add_server("s", room, 64, 1.8, 3.6, model());
+  builder.add_base_station("bs", {50.0, 50.0}, Band::kLow, 500.0, 75e6,
+                           0.7e9, 10.0, {room});
+  const Topology topo = builder.build();
+  util::Rng rng(1);
+  const auto report = analyze_coverage(topo, 2000, rng);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.diversity_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_covering_stations, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_reachable_servers, 1.0);
+  EXPECT_DOUBLE_EQ(report.min_reachable_servers, 1.0);
+}
+
+TEST(Coverage, PartialCoverageSmallCell) {
+  TopologyBuilder builder;
+  builder.set_region({1000.0, 1000.0});
+  const auto room = builder.add_cluster("room", {0.0, 0.0});
+  builder.add_server("s", room, 64, 1.8, 3.6, model());
+  // A cell of radius ~282 covers pi*r^2 / 1e6 ~ 25% of the square.
+  builder.add_base_station("bs", {500.0, 500.0}, Band::kMid, 282.0, 75e6,
+                           0.7e9, 10.0, {room});
+  const Topology topo = builder.build();
+  util::Rng rng(2);
+  const auto report = analyze_coverage(topo, 20000, rng);
+  EXPECT_NEAR(report.covered_fraction, 0.25, 0.02);
+}
+
+TEST(Coverage, DiversityWithOverlappingCells) {
+  TopologyBuilder builder;
+  builder.set_region({100.0, 100.0});
+  const auto room0 = builder.add_cluster("r0", {0.0, 0.0});
+  const auto room1 = builder.add_cluster("r1", {99.0, 99.0});
+  builder.add_server("s0", room0, 64, 1.8, 3.6, model());
+  builder.add_server("s1", room1, 64, 1.8, 3.6, model());
+  builder.add_base_station("a", {50.0, 50.0}, Band::kLow, 500.0, 75e6, 0.7e9,
+                           10.0, {room0});
+  builder.add_base_station("b", {50.0, 50.0}, Band::kLow, 500.0, 75e6, 0.7e9,
+                           10.0, {room1});
+  const Topology topo = builder.build();
+  util::Rng rng(3);
+  const auto report = analyze_coverage(topo, 1000, rng);
+  EXPECT_DOUBLE_EQ(report.diversity_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_covering_stations, 2.0);
+  // Both servers reachable through the union of the two stations.
+  EXPECT_DOUBLE_EQ(report.mean_reachable_servers, 2.0);
+}
+
+TEST(Coverage, PaperScenarioIsFullyCoveredWithDiversity) {
+  sim::ScenarioConfig config;
+  config.seed = 5;
+  sim::Scenario scenario(config);
+  util::Rng rng(4);
+  const auto report = analyze_coverage(scenario.topology(), 5000, rng);
+  // Two region-wide low-band cells guarantee full coverage and diversity.
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.diversity_fraction, 1.0);
+  EXPECT_GE(report.min_reachable_servers, 16.0);  // low-band reaches all
+}
+
+TEST(Coverage, RejectsZeroSamples) {
+  sim::ScenarioConfig config;
+  config.devices = 2;
+  sim::Scenario scenario(config);
+  util::Rng rng(5);
+  EXPECT_THROW((void)analyze_coverage(scenario.topology(), 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eotora::topology

@@ -1,0 +1,239 @@
+#include "des/flow_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alloc_rules.h"
+#include "core/latency.h"
+#include "core/lemma1.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace eotora::des {
+namespace {
+
+using core::Assignment;
+using core::Frequencies;
+using core::Instance;
+using core::ResourceAllocation;
+using core::SlotState;
+
+TEST(FlowSimStatic, SingleFlowMatchesHandComputation) {
+  const Instance instance = test::tiny_instance(1);
+  const SlotState state = test::uniform_state(1, 2, /*f=*/1e8, /*d=*/5e6,
+                                              /*h=*/25.0);
+  Assignment assignment;
+  assignment.bs_of = {0};
+  assignment.server_of = {0};
+  const Frequencies freq = {2.0, 2.0, 2.5};
+  const ResourceAllocation alloc{{1.0}, {1.0}, {1.0}};
+  const auto result = simulate_slot(instance, state, assignment, freq, alloc,
+                                    SharingDiscipline::kStaticShares);
+  const double access = 5e6 / (80e6 * 25.0);
+  const double fronthaul = 5e6 / (0.8e9 * 10.0);
+  const double compute = 1e8 / (64.0 * 2e9);
+  EXPECT_NEAR(result.access_done[0], access, 1e-12);
+  EXPECT_NEAR(result.fronthaul_done[0], access + fronthaul, 1e-12);
+  EXPECT_NEAR(result.finish[0], access + fronthaul + compute, 1e-12);
+  EXPECT_EQ(result.events, 3u);  // three stage completions, one flow
+}
+
+// The core validation: with Lemma-1 static shares, the DES-measured total
+// latency equals the analytic reduced latency T_t exactly.
+class StaticMatchesAnalytic : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticMatchesAnalytic, TotalsAgree) {
+  util::Rng rng(5000 + GetParam());
+  const std::size_t devices = 2 + rng.index(6);
+  const Instance instance = test::tiny_instance(devices);
+  const SlotState state = test::random_state(devices, 2, rng);
+  Assignment assignment;
+  for (std::size_t i = 0; i < devices; ++i) {
+    assignment.bs_of.push_back(0);
+    assignment.server_of.push_back(rng.index(3));
+  }
+  const Frequencies freq = instance.max_frequencies();
+  const auto alloc = core::optimal_allocation(instance, state, assignment);
+  const auto result = simulate_slot(instance, state, assignment, freq, alloc,
+                                    SharingDiscipline::kStaticShares);
+  const double analytic =
+      core::reduced_latency(instance, state, assignment, freq);
+  EXPECT_NEAR(result.total_latency(), analytic, 1e-6 * analytic);
+  // And per-device: finish time equals the device's three analytic terms.
+  for (std::size_t i = 0; i < devices; ++i) {
+    const auto device = core::device_latency_under_allocation(
+        instance, state, assignment, freq, alloc, i);
+    EXPECT_NEAR(result.finish[i], device.total(), 1e-6 * device.total());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticMatchesAnalytic,
+                         ::testing::Range(0, 12));
+
+TEST(FlowSimPs, TwoIdenticalFlowsHandComputed) {
+  // Two identical devices through one BS and one server under processor
+  // sharing: they split every resource 50/50 and finish simultaneously; the
+  // trajectory is the same as static halves, so finish time equals
+  // 2*(d/(W h) + d/(W^F h^F) + f/(cap σ))... i.e. each stage at half rate.
+  const Instance instance = test::tiny_instance(2);
+  const SlotState state = test::uniform_state(2, 2, 1e8, 5e6, 25.0);
+  Assignment assignment;
+  assignment.bs_of = {0, 0};
+  assignment.server_of = {0, 0};
+  const Frequencies freq = instance.max_frequencies();
+  const ResourceAllocation unused;
+  const auto result = simulate_slot(instance, state, assignment, freq, unused,
+                                    SharingDiscipline::kProcessorSharing);
+  const double access = 5e6 / (0.5 * 80e6 * 25.0);
+  const double fronthaul = 5e6 / (0.5 * 0.8e9 * 10.0);
+  const double compute = 1e8 / (0.5 * 64.0 * 3.6e9);
+  EXPECT_NEAR(result.finish[0], access + fronthaul + compute, 1e-9);
+  EXPECT_NEAR(result.finish[1], result.finish[0], 1e-12);
+}
+
+TEST(FlowSimPs, FreedCapacitySpeedsUpStragglers) {
+  // One small and one large task through the same resources: once the small
+  // one leaves a stage, the big one gets the full resource — so its PS
+  // finish time must beat its static-equal-share finish time.
+  const Instance instance = test::tiny_instance(2);
+  SlotState state = test::uniform_state(2, 2, 1e8, 5e6, 25.0);
+  state.task_cycles = {2e7, 4e8};
+  state.data_bits = {1e6, 9e6};
+  Assignment assignment;
+  assignment.bs_of = {0, 0};
+  assignment.server_of = {0, 0};
+  const Frequencies freq = instance.max_frequencies();
+  const auto equal = core::equal_share_allocation(instance, state, assignment);
+  const auto ps = simulate_slot(instance, state, assignment, freq, equal,
+                                SharingDiscipline::kProcessorSharing);
+  const auto fixed = simulate_slot(instance, state, assignment, freq, equal,
+                                   SharingDiscipline::kStaticShares);
+  EXPECT_LT(ps.finish[1], fixed.finish[1]);
+  // The small task is never slower under PS than under a half reservation.
+  EXPECT_LE(ps.finish[0], fixed.finish[0] + 1e-12);
+}
+
+TEST(FlowSimPs, WorkConservationBeatsStaticOnAverage) {
+  util::Rng rng(6);
+  double ps_total = 0.0;
+  double static_total = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t devices = 4 + rng.index(4);
+    const Instance instance = test::tiny_instance(devices);
+    const SlotState state = test::random_state(devices, 2, rng);
+    Assignment assignment;
+    for (std::size_t i = 0; i < devices; ++i) {
+      assignment.bs_of.push_back(0);
+      assignment.server_of.push_back(rng.index(3));
+    }
+    const Frequencies freq = instance.max_frequencies();
+    const auto alloc = core::optimal_allocation(instance, state, assignment);
+    ps_total += simulate_slot(instance, state, assignment, freq, alloc,
+                              SharingDiscipline::kProcessorSharing)
+                    .total_latency();
+    static_total += simulate_slot(instance, state, assignment, freq, alloc,
+                                  SharingDiscipline::kStaticShares)
+                        .total_latency();
+  }
+  EXPECT_LT(ps_total, static_total);
+}
+
+TEST(FlowSim, EventCountBounded) {
+  util::Rng rng(7);
+  const std::size_t devices = 8;
+  const Instance instance = test::tiny_instance(devices);
+  const SlotState state = test::random_state(devices, 2, rng);
+  Assignment assignment;
+  for (std::size_t i = 0; i < devices; ++i) {
+    assignment.bs_of.push_back(0);
+    assignment.server_of.push_back(i % 3);
+  }
+  const Frequencies freq = instance.max_frequencies();
+  const auto alloc = core::optimal_allocation(instance, state, assignment);
+  for (auto discipline : {SharingDiscipline::kStaticShares,
+                          SharingDiscipline::kProcessorSharing}) {
+    const auto result =
+        simulate_slot(instance, state, assignment, freq, alloc, discipline);
+    EXPECT_LE(result.events, 3 * devices);
+    EXPECT_GE(result.events, 3u);
+    EXPECT_GT(result.makespan(), 0.0);
+    EXPECT_GE(result.total_latency(), result.makespan());
+  }
+}
+
+TEST(FlowSim, StagesAreOrderedPerDevice) {
+  util::Rng rng(8);
+  const std::size_t devices = 5;
+  const Instance instance = test::tiny_instance(devices);
+  const SlotState state = test::random_state(devices, 2, rng);
+  Assignment assignment;
+  for (std::size_t i = 0; i < devices; ++i) {
+    assignment.bs_of.push_back(0);
+    assignment.server_of.push_back(rng.index(3));
+  }
+  const Frequencies freq = instance.max_frequencies();
+  const auto alloc = core::optimal_allocation(instance, state, assignment);
+  const auto result = simulate_slot(instance, state, assignment, freq, alloc,
+                                    SharingDiscipline::kProcessorSharing);
+  for (std::size_t i = 0; i < devices; ++i) {
+    EXPECT_GT(result.access_done[i], 0.0);
+    EXPECT_GT(result.fronthaul_done[i], result.access_done[i]);
+    EXPECT_GT(result.finish[i], result.fronthaul_done[i]);
+  }
+}
+
+TEST(FlowSim, RejectsBadInput) {
+  const Instance instance = test::tiny_instance(1);
+  SlotState state = test::uniform_state(1, 2);
+  Assignment assignment;
+  assignment.bs_of = {0};
+  assignment.server_of = {0};
+  const ResourceAllocation alloc{{1.0}, {1.0}, {1.0}};
+  // Unusable channel.
+  state.channel[0][0] = 0.0;
+  EXPECT_THROW(simulate_slot(instance, state, assignment,
+                             instance.max_frequencies(), alloc,
+                             SharingDiscipline::kStaticShares),
+               std::invalid_argument);
+  // Zero static share.
+  state.channel[0][0] = 30.0;
+  const ResourceAllocation zero{{0.0}, {1.0}, {1.0}};
+  EXPECT_THROW(simulate_slot(instance, state, assignment,
+                             instance.max_frequencies(), zero,
+                             SharingDiscipline::kStaticShares),
+               std::invalid_argument);
+  // Infeasible frequencies.
+  EXPECT_THROW(simulate_slot(instance, state, assignment, {9.0, 2.0, 2.5},
+                             alloc, SharingDiscipline::kStaticShares),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eotora::des
+
+namespace eotora::des {
+namespace {
+
+TEST(FlowSim, SimultaneousCompletionsBatchIntoOneEvent) {
+  // Eight IDENTICAL devices through identical resources: every stage
+  // completes simultaneously for all flows, so the whole slot takes exactly
+  // three events regardless of the device count.
+  const core::Instance instance = test::tiny_instance(8);
+  const core::SlotState state = test::uniform_state(8, 2);
+  core::Assignment assignment;
+  assignment.bs_of.assign(8, 0);
+  assignment.server_of.assign(8, 0);
+  const auto alloc = core::equal_share_allocation(instance, state, assignment);
+  for (auto discipline : {SharingDiscipline::kStaticShares,
+                          SharingDiscipline::kProcessorSharing}) {
+    const auto result = simulate_slot(instance, state, assignment,
+                                      instance.max_frequencies(), alloc,
+                                      discipline);
+    EXPECT_EQ(result.events, 3u);
+    for (std::size_t i = 1; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(result.finish[i], result.finish[0]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eotora::des

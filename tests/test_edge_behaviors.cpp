@@ -1,0 +1,98 @@
+// Final set of contract checks: caps, live-weight interactions, and
+// determinism guarantees that other suites do not pin down.
+#include <gtest/gtest.h>
+
+#include "core/cgba.h"
+#include "core/wcg.h"
+#include "test_helpers.h"
+#include "trace/price_trace.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+namespace {
+
+TEST(CgbaCap, HittingMoveBudgetReportsNotConverged) {
+  util::Rng rng(1);
+  const Instance instance = test::tiny_instance(10);
+  const SlotState state = test::random_state(10, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  CgbaConfig config;
+  config.max_moves = 1;  // far below what the dynamics need
+  const SolveResult result = cgba(problem, config, rng);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 1u);
+  // The profile is still valid and scored.
+  EXPECT_NEAR(result.cost, problem.total_cost(result.profile),
+              1e-9 * result.cost);
+}
+
+TEST(CgbaCap, RoundRobinAlsoRespectsCap) {
+  util::Rng rng(2);
+  const Instance instance = test::tiny_instance(10);
+  const SlotState state = test::random_state(10, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  CgbaConfig config;
+  config.selection = CgbaSelection::kRoundRobin;
+  config.max_moves = 2;
+  const SolveResult result = cgba(problem, config, rng);
+  EXPECT_LE(result.iterations, 2u);
+}
+
+TEST(WcgLiveWeights, TrackerSeesFrequencyChangesImmediately) {
+  // LoadTracker reads weights through the problem, so set_frequencies on
+  // the problem re-prices an EXISTING tracker — by design (BDMA relies on
+  // rebuilding costs without rebuilding loads).
+  util::Rng rng(3);
+  const Instance instance = test::tiny_instance(5);
+  const SlotState state = test::random_state(5, 2, rng);
+  WcgProblem problem(instance, state, instance.min_frequencies());
+  LoadTracker tracker(problem, problem.random_profile(rng));
+  const double slow_cost = tracker.total_cost();
+  problem.set_frequencies(instance, instance.max_frequencies());
+  const double fast_cost = tracker.total_cost();
+  EXPECT_LT(fast_cost, slow_cost);
+  // Loads themselves are frequency-independent: potential's Σp² part and
+  // player membership unchanged, so the profile is still the same.
+  EXPECT_EQ(tracker.profile().size(), 5u);
+}
+
+TEST(WcgLiveWeights, BestResponseAdaptsToNewFrequencies) {
+  // Slowing one server down must never make it MORE attractive.
+  util::Rng rng(4);
+  const Instance instance = test::tiny_instance(4);
+  const SlotState state = test::random_state(4, 2, rng);
+  WcgProblem problem(instance, state, instance.max_frequencies());
+  LoadTracker tracker(problem, problem.random_profile(rng));
+  const auto before = tracker.best_response(0);
+  // Drop every server to its floor: option costs rise (weakly) everywhere.
+  problem.set_frequencies(instance, instance.min_frequencies());
+  const auto after = tracker.best_response(0);
+  EXPECT_GE(after.cost, before.cost - 1e-12);
+}
+
+}  // namespace
+}  // namespace eotora::core
+
+namespace eotora::trace {
+namespace {
+
+TEST(PriceGenerate, MatchesSequentialNextCalls) {
+  PriceTraceConfig config;
+  const auto generated = PriceTrace::generate(config, 50, util::Rng(9));
+  PriceTrace trace(config, util::Rng(9));
+  for (std::size_t t = 0; t < 50; ++t) {
+    EXPECT_DOUBLE_EQ(generated[t], trace.next());
+  }
+  EXPECT_EQ(trace.slot(), 50u);
+}
+
+TEST(PriceTrend, PeriodAccessorsConsistent) {
+  PriceTraceConfig config;
+  config.period = 12;
+  PriceTrace trace(config, util::Rng(1));
+  EXPECT_EQ(trace.period(), 12u);
+  EXPECT_DOUBLE_EQ(trace.trend_at(0), trace.trend_at(12));
+}
+
+}  // namespace
+}  // namespace eotora::trace

@@ -1,0 +1,94 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace eotora::core {
+namespace {
+
+TEST(Instance, ValidatesSigmaShape) {
+  auto topo = test::tiny_topology(2);
+  SuitabilityMatrix wrong_rows(1, std::vector<double>(3, 1.0));
+  EXPECT_THROW(Instance(topo, wrong_rows, 1.0), std::invalid_argument);
+  SuitabilityMatrix wrong_cols(2, std::vector<double>(2, 1.0));
+  EXPECT_THROW(Instance(topo, wrong_cols, 1.0), std::invalid_argument);
+}
+
+TEST(Instance, ValidatesSigmaRange) {
+  auto topo = test::tiny_topology(2);
+  SuitabilityMatrix zero(2, std::vector<double>(3, 0.0));
+  EXPECT_THROW(Instance(topo, zero, 1.0), std::invalid_argument);
+  SuitabilityMatrix above(2, std::vector<double>(3, 1.5));
+  EXPECT_THROW(Instance(topo, above, 1.0), std::invalid_argument);
+}
+
+TEST(Instance, ValidatesBudgetAndSlot) {
+  auto topo = test::tiny_topology(2);
+  SuitabilityMatrix sigma(2, std::vector<double>(3, 1.0));
+  EXPECT_THROW(Instance(topo, sigma, 0.0), std::invalid_argument);
+  EXPECT_THROW(Instance(topo, sigma, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Instance, ServerCostFollowsPriceAndPower) {
+  const Instance instance = test::tiny_instance(2, 5.0);
+  const auto& server = instance.topology().server(topology::ServerId{0});
+  const double price = 80.0;  // $/MWh
+  const double ghz = 2.5;
+  const double expected =
+      price * server.power_watts(ghz) * instance.slot_hours() / 1e6;
+  EXPECT_DOUBLE_EQ(instance.server_cost(0, ghz, price), expected);
+}
+
+TEST(Instance, EnergyCostSumsServers) {
+  const Instance instance = test::tiny_instance(2, 5.0);
+  const Frequencies freq = instance.min_frequencies();
+  double expected = 0.0;
+  for (std::size_t n = 0; n < instance.num_servers(); ++n) {
+    expected += instance.server_cost(n, freq[n], 60.0);
+  }
+  EXPECT_DOUBLE_EQ(instance.energy_cost(freq, 60.0), expected);
+  EXPECT_DOUBLE_EQ(instance.theta(freq, 60.0), expected - 5.0);
+}
+
+TEST(Instance, MinMaxFrequenciesComeFromServers) {
+  const Instance instance = test::tiny_instance(2, 5.0);
+  const auto lo = instance.min_frequencies();
+  const auto hi = instance.max_frequencies();
+  ASSERT_EQ(lo.size(), 3u);
+  EXPECT_DOUBLE_EQ(lo[0], 1.8);
+  EXPECT_DOUBLE_EQ(lo[2], 2.0);
+  EXPECT_DOUBLE_EQ(hi[0], 3.6);
+  EXPECT_DOUBLE_EQ(hi[2], 3.0);
+}
+
+TEST(Instance, FrequenciesFeasibleChecksRange) {
+  const Instance instance = test::tiny_instance(2, 5.0);
+  EXPECT_TRUE(instance.frequencies_feasible(instance.min_frequencies()));
+  EXPECT_TRUE(instance.frequencies_feasible(instance.max_frequencies()));
+  EXPECT_FALSE(instance.frequencies_feasible({1.0, 2.0, 2.5}));
+  EXPECT_FALSE(instance.frequencies_feasible({2.0, 2.0}));  // wrong size
+}
+
+TEST(Instance, RandomSigmaInRange) {
+  util::Rng rng(9);
+  const auto sigma = Instance::random_sigma(10, 4, rng);
+  ASSERT_EQ(sigma.size(), 10u);
+  for (const auto& row : sigma) {
+    ASSERT_EQ(row.size(), 4u);
+    for (double s : row) {
+      EXPECT_GE(s, 0.5);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(Instance, SuitabilityAccessorBoundsChecked) {
+  const Instance instance = test::tiny_instance(2, 5.0);
+  EXPECT_NO_THROW((void)instance.suitability(1, 2));
+  EXPECT_THROW((void)instance.suitability(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)instance.suitability(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eotora::core

@@ -1,0 +1,109 @@
+#include "math/minimize1d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eotora::math {
+namespace {
+
+double quadratic(double x) { return (x - 2.0) * (x - 2.0) + 1.0; }
+double dquadratic(double x) { return 2.0 * (x - 2.0); }
+
+TEST(GoldenSection, FindsInteriorMinimum) {
+  const auto r = golden_section(quadratic, 0.0, 5.0, 1e-10);
+  // Value-comparison methods stall near sqrt(machine eps) in x on flat
+  // quadratics; the value itself is exact to double precision.
+  EXPECT_NEAR(r.x, 2.0, 1e-7);
+  EXPECT_NEAR(r.value, 1.0, 1e-12);
+}
+
+TEST(GoldenSection, MinimumAtLeftBoundary) {
+  const auto r = golden_section([](double x) { return x; }, 1.0, 3.0, 1e-10);
+  EXPECT_NEAR(r.x, 1.0, 1e-7);
+}
+
+TEST(GoldenSection, MinimumAtRightBoundary) {
+  const auto r = golden_section([](double x) { return -x; }, 1.0, 3.0, 1e-10);
+  EXPECT_NEAR(r.x, 3.0, 1e-7);
+}
+
+TEST(GoldenSection, DegenerateInterval) {
+  const auto r = golden_section(quadratic, 2.5, 2.5, 1e-10);
+  EXPECT_DOUBLE_EQ(r.x, 2.5);
+}
+
+TEST(GoldenSection, RejectsBadArgs) {
+  EXPECT_THROW((void)golden_section(quadratic, 1.0, 0.0, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW((void)golden_section(quadratic, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(DerivativeBisection, FindsInteriorMinimum) {
+  const auto r = derivative_bisection(quadratic, dquadratic, 0.0, 5.0, 1e-12);
+  EXPECT_NEAR(r.x, 2.0, 1e-9);
+}
+
+TEST(DerivativeBisection, ClampsWhenMonotone) {
+  // Increasing on the interval: minimum at lo.
+  const auto lo = derivative_bisection(quadratic, dquadratic, 3.0, 5.0);
+  EXPECT_DOUBLE_EQ(lo.x, 3.0);
+  // Decreasing on the interval: minimum at hi.
+  const auto hi = derivative_bisection(quadratic, dquadratic, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(hi.x, 1.0);
+}
+
+TEST(Brent, FindsInteriorMinimum) {
+  const auto r = brent(quadratic, 0.0, 5.0, 1e-10);
+  EXPECT_NEAR(r.x, 2.0, 1e-7);
+  EXPECT_NEAR(r.value, 1.0, 1e-12);
+}
+
+TEST(Brent, HandlesNonSymmetricConvexFunction) {
+  // The P2-B per-server shape: A/w + c*w^2 on [1.8, 3.6].
+  auto f = [](double w) { return 10.0 / w + 0.8 * w * w; };
+  // Stationary point: -10/w^2 + 1.6 w = 0  =>  w = (10/1.6)^(1/3).
+  const double expected = std::cbrt(10.0 / 1.6);
+  const auto r = brent(f, 1.0, 4.0, 1e-10);
+  EXPECT_NEAR(r.x, expected, 1e-6);
+}
+
+TEST(AllMinimizersAgree, P2bShapedObjectives) {
+  for (double a : {1.0, 25.0, 400.0}) {
+    auto f = [a](double w) { return a / w + 3.0 * w * w + 2.0 * w; };
+    auto df = [a](double w) { return -a / (w * w) + 6.0 * w + 2.0; };
+    const auto g = golden_section(f, 1.8, 3.6, 1e-10);
+    const auto b = brent(f, 1.8, 3.6, 1e-10);
+    const auto d = derivative_bisection(f, df, 1.8, 3.6, 1e-12);
+    EXPECT_NEAR(g.x, d.x, 1e-6) << "a=" << a;
+    EXPECT_NEAR(b.x, d.x, 1e-6) << "a=" << a;
+  }
+}
+
+// Parameterized sweep: golden section never beats the true optimum by more
+// than tolerance on random convex quartics.
+class GoldenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenSweep, MatchesDenseGridSearch) {
+  const int seed = GetParam();
+  // Deterministic pseudo-random coefficients from the seed.
+  const double c4 = 0.1 + 0.05 * seed;
+  const double c2 = 1.0 + 0.3 * seed;
+  const double c1 = -2.0 + 0.7 * seed;
+  auto f = [&](double x) {
+    return c4 * x * x * x * x + c2 * x * x + c1 * x;
+  };
+  const auto r = golden_section(f, -3.0, 3.0, 1e-10);
+  double best = r.value;
+  for (int i = 0; i <= 60000; ++i) {
+    const double x = -3.0 + 6.0 * i / 60000.0;
+    best = std::min(best, f(x));
+  }
+  EXPECT_NEAR(r.value, best, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoldenSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace eotora::math

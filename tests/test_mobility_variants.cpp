@@ -1,0 +1,146 @@
+// Gauss-Markov mobility and the log-distance channel attenuation variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "energy/quadratic_energy.h"
+#include "topology/builder.h"
+#include "topology/channel_model.h"
+#include "topology/mobility.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace eotora::topology {
+namespace {
+
+std::unique_ptr<Topology> line_topology(double device_x) {
+  TopologyBuilder builder;
+  builder.set_region({1600.0, 1000.0});
+  const auto room = builder.add_cluster("room", {0.0, 0.0});
+  builder.add_server("s", room, 64, 1.8, 3.6,
+                     std::make_shared<energy::QuadraticEnergy>(5.0, 2.0,
+                                                               20.0));
+  builder.add_base_station("bs", {0.0, 500.0}, Band::kLow, 1500.0, 75e6,
+                           0.7e9, 10.0, {room});
+  builder.add_device("d", {device_x, 500.0});
+  return std::make_unique<Topology>(builder.build());
+}
+
+TEST(GaussMarkov, StaysInRegionAndMoves) {
+  auto topo = line_topology(500.0);
+  GaussMarkovMobility::Config config;
+  GaussMarkovMobility mobility(config, 1, util::Rng(1));
+  const Point start = topo->device(DeviceId{0}).position;
+  bool moved = false;
+  for (int t = 0; t < 200; ++t) {
+    mobility.step(*topo);
+    const Point pos = topo->device(DeviceId{0}).position;
+    ASSERT_TRUE(topo->region().contains(pos));
+    if (distance(pos, start) > 1.0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(GaussMarkov, HighMemoryGivesSmootherHeadings) {
+  // With memory near 1, consecutive displacement vectors stay aligned;
+  // with memory 0 they decorrelate. Compare mean cosine of the turn angle.
+  auto heading_persistence = [&](double memory) {
+    auto topo = line_topology(500.0);
+    GaussMarkovMobility::Config config;
+    config.memory = memory;
+    GaussMarkovMobility mobility(config, 1, util::Rng(7));
+    Point previous = topo->device(DeviceId{0}).position;
+    double last_dx = 0.0;
+    double last_dy = 0.0;
+    util::RunningStats cosines;
+    for (int t = 0; t < 400; ++t) {
+      mobility.step(*topo);
+      const Point pos = topo->device(DeviceId{0}).position;
+      const double dx = pos.x - previous.x;
+      const double dy = pos.y - previous.y;
+      const double norm = std::sqrt(dx * dx + dy * dy);
+      const double last_norm =
+          std::sqrt(last_dx * last_dx + last_dy * last_dy);
+      if (t > 0 && norm > 1e-9 && last_norm > 1e-9) {
+        cosines.add((dx * last_dx + dy * last_dy) / (norm * last_norm));
+      }
+      last_dx = dx;
+      last_dy = dy;
+      previous = pos;
+    }
+    return cosines.mean();
+  };
+  EXPECT_GT(heading_persistence(0.95), heading_persistence(0.0) + 0.2);
+}
+
+TEST(GaussMarkov, RejectsBadConfig) {
+  GaussMarkovMobility::Config config;
+  config.memory = 1.0;
+  EXPECT_THROW(GaussMarkovMobility(config, 1, util::Rng(1)),
+               std::invalid_argument);
+  config = {};
+  config.slot_duration_s = 0.0;
+  EXPECT_THROW(GaussMarkovMobility(config, 1, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(GaussMarkov, RejectsWrongDeviceCount) {
+  auto topo = line_topology(500.0);
+  GaussMarkovMobility mobility(GaussMarkovMobility::Config{}, 3,
+                               util::Rng(2));
+  EXPECT_THROW(mobility.step(*topo), std::invalid_argument);
+}
+
+TEST(LogDistanceChannel, EndpointsMatchLinearVariant) {
+  // At the BS and at the coverage edge the two attenuation shapes agree by
+  // construction; strip noise so the mean is observable.
+  for (double x : {0.0001, 1500.0}) {
+    auto topo = line_topology(0.0);
+    topo->set_device_position(DeviceId{0}, {x, 500.0});
+    ChannelConfig linear;
+    linear.shadowing_stddev = 0.0;
+    linear.min_efficiency = 0.1;
+    linear.max_efficiency = 1000.0;
+    ChannelConfig logdist = linear;
+    logdist.attenuation = ChannelConfig::Attenuation::kLogDistance;
+    ChannelModel a(linear, *topo, util::Rng(3));
+    ChannelModel b(logdist, *topo, util::Rng(3));
+    EXPECT_NEAR(a.step(*topo)[0][0], b.step(*topo)[0][0], 1e-3)
+        << "at x=" << x;
+  }
+}
+
+TEST(LogDistanceChannel, SteeperThanLinearNearTheStation) {
+  // Mid-cell, the log-distance shape sits BELOW the linear one (convex
+  // decay front-loads the loss).
+  auto topo = line_topology(400.0);
+  ChannelConfig linear;
+  linear.shadowing_stddev = 0.0;
+  linear.min_efficiency = 0.1;
+  linear.max_efficiency = 1000.0;
+  ChannelConfig logdist = linear;
+  logdist.attenuation = ChannelConfig::Attenuation::kLogDistance;
+  ChannelModel a(linear, *topo, util::Rng(4));
+  ChannelModel b(logdist, *topo, util::Rng(4));
+  EXPECT_LT(b.step(*topo)[0][0], a.step(*topo)[0][0]);
+}
+
+TEST(LogDistanceChannel, MonotoneInDistance) {
+  ChannelConfig config;
+  config.attenuation = ChannelConfig::Attenuation::kLogDistance;
+  config.shadowing_stddev = 0.0;
+  config.min_efficiency = 0.1;
+  config.max_efficiency = 1000.0;
+  double previous = 1e18;
+  for (double x : {5.0, 50.0, 200.0, 600.0, 1200.0}) {
+    auto topo = line_topology(x);
+    ChannelModel channel(config, *topo, util::Rng(5));
+    const double h = channel.step(*topo)[0][0];
+    EXPECT_LE(h, previous + 1e-9) << "x=" << x;
+    previous = h;
+  }
+}
+
+}  // namespace
+}  // namespace eotora::topology

@@ -1,0 +1,114 @@
+#include "core/p2b_discrete.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+namespace {
+
+Assignment spread(std::size_t devices) {
+  Assignment a;
+  for (std::size_t i = 0; i < devices; ++i) {
+    a.bs_of.push_back(0);
+    a.server_of.push_back(i % 3);
+  }
+  return a;
+}
+
+TEST(UniformStates, SpansRangeWithEndpoints) {
+  const Instance instance = test::tiny_instance(2);
+  const auto states = uniform_frequency_states(instance, 5);
+  ASSERT_EQ(states.size(), 3u);
+  for (std::size_t n = 0; n < 3; ++n) {
+    ASSERT_EQ(states[n].size(), 5u);
+    EXPECT_DOUBLE_EQ(states[n].front(), instance.min_frequencies()[n]);
+    EXPECT_DOUBLE_EQ(states[n].back(), instance.max_frequencies()[n]);
+    for (std::size_t s = 1; s < 5; ++s) {
+      EXPECT_GT(states[n][s], states[n][s - 1]);
+    }
+  }
+}
+
+TEST(UniformStates, SingleStateIsFloor) {
+  const Instance instance = test::tiny_instance(1);
+  const auto states = uniform_frequency_states(instance, 1);
+  for (std::size_t n = 0; n < 3; ++n) {
+    ASSERT_EQ(states[n].size(), 1u);
+    EXPECT_DOUBLE_EQ(states[n][0], instance.min_frequencies()[n]);
+  }
+}
+
+TEST(P2bDiscrete, PicksExactArgminOverStates) {
+  util::Rng rng(1);
+  const Instance instance = test::tiny_instance(6);
+  const SlotState state = test::random_state(6, 2, rng);
+  const Assignment assignment = spread(6);
+  const auto states = uniform_frequency_states(instance, 7);
+  const double v = 150.0;
+  const double q = 200.0;
+  const auto result =
+      solve_p2b_discrete(instance, state, assignment, v, q, states);
+  // Exhaustive check per server: no other state does better.
+  for (std::size_t n = 0; n < 3; ++n) {
+    for (double w : states[n]) {
+      Frequencies probe = result.frequencies;
+      probe[n] = w;
+      EXPECT_GE(dpp_objective(instance, state, assignment, probe, v, q),
+                result.objective - 1e-9 * std::abs(result.objective));
+    }
+  }
+}
+
+TEST(P2bDiscrete, ContinuousLowerBoundsDiscrete) {
+  util::Rng rng(2);
+  const Instance instance = test::tiny_instance(6);
+  const SlotState state = test::random_state(6, 2, rng);
+  const Assignment assignment = spread(6);
+  const auto continuous = solve_p2b(instance, state, assignment, 100.0, 80.0);
+  for (std::size_t count : {2u, 4u, 8u, 32u}) {
+    const auto discrete = solve_p2b_discrete(
+        instance, state, assignment, 100.0, 80.0,
+        uniform_frequency_states(instance, count));
+    EXPECT_GE(discrete.objective,
+              continuous.objective - 1e-9 * std::abs(continuous.objective))
+        << "count=" << count;
+  }
+}
+
+TEST(P2bDiscrete, QuantizationLossVanishesWithFinerGrids) {
+  util::Rng rng(3);
+  const Instance instance = test::tiny_instance(6);
+  const SlotState state = test::random_state(6, 2, rng);
+  const Assignment assignment = spread(6);
+  const double v = 500.0;
+  const double q = 500.0;
+  const auto continuous = solve_p2b(instance, state, assignment, v, q);
+  const auto coarse = solve_p2b_discrete(
+      instance, state, assignment, v, q, uniform_frequency_states(instance, 3));
+  const auto fine = solve_p2b_discrete(
+      instance, state, assignment, v, q,
+      uniform_frequency_states(instance, 200));
+  EXPECT_LE(fine.objective, coarse.objective + 1e-12);
+  EXPECT_NEAR(fine.objective, continuous.objective,
+              1e-3 * std::abs(continuous.objective));
+}
+
+TEST(P2bDiscrete, RejectsBadStates) {
+  const Instance instance = test::tiny_instance(2);
+  const SlotState state = test::uniform_state(2, 2);
+  const Assignment assignment = spread(2);
+  FrequencyStates empty(instance.num_servers());
+  EXPECT_THROW((void)solve_p2b_discrete(instance, state, assignment, 1.0, 1.0,
+                                        empty),
+               std::invalid_argument);
+  FrequencyStates out_of_range = uniform_frequency_states(instance, 2);
+  out_of_range[0][0] = 0.5;  // below F^L
+  EXPECT_THROW((void)solve_p2b_discrete(instance, state, assignment, 1.0, 1.0,
+                                        out_of_range),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eotora::core

@@ -1,0 +1,90 @@
+#include "core/relaxation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/cgba.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+namespace {
+
+TEST(Relaxation, WeightsStayInSimplex) {
+  util::Rng rng(1);
+  const Instance instance = test::tiny_instance(5);
+  const SlotState state = test::random_state(5, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const auto result = fractional_lower_bound(problem);
+  ASSERT_EQ(result.weights.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (double w : result.weights[i]) {
+      EXPECT_GE(w, -1e-12);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+class RelaxationBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelaxationBounds, LowerBoundsIntegerOptimum) {
+  util::Rng rng(3000 + GetParam());
+  const std::size_t devices = 2 + rng.index(4);
+  const Instance instance = test::tiny_instance(devices);
+  const SlotState state = test::random_state(devices, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult optimum = brute_force(problem);
+  const auto relaxed = fractional_lower_bound(problem);
+  // LB <= OPT and the fractional feasible value <= ... can be below OPT
+  // (fractional splitting is allowed) but never above by more than the gap.
+  EXPECT_LE(relaxed.lower_bound, optimum.cost * (1.0 + 1e-9));
+  EXPECT_LE(relaxed.fractional_value, optimum.cost * (1.0 + 1e-9));
+  EXPECT_GE(relaxed.lower_bound, 0.0);
+  // And the bound is tight-ish on these smooth instances.
+  EXPECT_GE(relaxed.lower_bound, optimum.cost * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelaxationBounds, ::testing::Range(0, 12));
+
+TEST(Relaxation, BoundBeatsSingletonBoundOnSharedResources) {
+  // With several devices forced through the same resources, the fractional
+  // bound accounts for congestion the singleton bound ignores.
+  util::Rng rng(9);
+  const Instance instance = test::tiny_instance(6);
+  const SlotState state = test::random_state(6, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const auto relaxed = fractional_lower_bound(problem);
+  EXPECT_GT(relaxed.lower_bound, problem.singleton_lower_bound());
+}
+
+TEST(Relaxation, GapConvergesOnPaperScaleInstance) {
+  util::Rng rng(10);
+  const Instance instance = test::tiny_instance(12);
+  const SlotState state = test::random_state(12, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  RelaxationConfig config;
+  config.max_iterations = 2000;
+  config.relative_gap = 1e-5;
+  const auto result = fractional_lower_bound(problem, config);
+  EXPECT_GE(result.lower_bound,
+            result.fractional_value * (1.0 - 1e-3));
+  // Sandwich a CGBA solution: LB <= CGBA cost.
+  const auto heuristic = cgba(problem, CgbaConfig{}, rng);
+  EXPECT_LE(result.lower_bound, heuristic.cost * (1.0 + 1e-9));
+}
+
+TEST(Relaxation, RejectsBadConfig) {
+  util::Rng rng(11);
+  const Instance instance = test::tiny_instance(2);
+  const SlotState state = test::uniform_state(2, 2);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  RelaxationConfig config;
+  config.max_iterations = 0;
+  EXPECT_THROW((void)fractional_lower_bound(problem, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eotora::core

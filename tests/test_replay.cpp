@@ -1,0 +1,102 @@
+#include "sim/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/policy.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace eotora::sim {
+namespace {
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "/tmp/eotora_test_replay.csv";
+};
+
+ScenarioConfig tiny() {
+  ScenarioConfig config;
+  config.devices = 4;
+  config.mid_band_stations = 1;
+  config.low_band_stations = 1;
+  config.clusters = 1;
+  config.servers_per_cluster = 2;
+  config.seed = 5;
+  return config;
+}
+
+TEST_F(ReplayTest, RoundTripIsExact) {
+  Scenario scenario(tiny());
+  const auto states = scenario.generate_states(6);
+  save_states(path_, states);
+  const auto loaded = load_states(path_);
+  ASSERT_EQ(loaded.size(), states.size());
+  for (std::size_t t = 0; t < states.size(); ++t) {
+    EXPECT_EQ(loaded[t].slot, states[t].slot);
+    EXPECT_DOUBLE_EQ(loaded[t].price_per_mwh, states[t].price_per_mwh);
+    ASSERT_EQ(loaded[t].task_cycles.size(), states[t].task_cycles.size());
+    for (std::size_t i = 0; i < states[t].task_cycles.size(); ++i) {
+      EXPECT_DOUBLE_EQ(loaded[t].task_cycles[i], states[t].task_cycles[i]);
+      EXPECT_DOUBLE_EQ(loaded[t].data_bits[i], states[t].data_bits[i]);
+      for (std::size_t k = 0; k < states[t].channel[i].size(); ++k) {
+        EXPECT_DOUBLE_EQ(loaded[t].channel[i][k], states[t].channel[i][k]);
+      }
+    }
+  }
+}
+
+TEST_F(ReplayTest, ReplayDrivesIdenticalSimulation) {
+  Scenario scenario(tiny());
+  const auto states = scenario.generate_states(8);
+  save_states(path_, states);
+  const auto loaded = load_states(path_);
+  core::DppConfig config;
+  config.bdma.iterations = 2;
+  DppPolicy policy(scenario.instance(), config);
+  const auto original = run_policy(policy, states, 9);
+  const auto replayed = run_policy(policy, loaded, 9);
+  EXPECT_EQ(original.metrics.latency_series(),
+            replayed.metrics.latency_series());
+  EXPECT_EQ(original.metrics.queue_series(), replayed.metrics.queue_series());
+}
+
+TEST_F(ReplayTest, RejectsEmptyStates) {
+  EXPECT_THROW(save_states(path_, {}), std::invalid_argument);
+}
+
+TEST_F(ReplayTest, RejectsInconsistentShapes) {
+  Scenario scenario(tiny());
+  auto states = scenario.generate_states(3);
+  states[1].task_cycles.pop_back();
+  EXPECT_THROW(save_states(path_, states), std::invalid_argument);
+}
+
+TEST_F(ReplayTest, RejectsMalformedHeader) {
+  {
+    std::ofstream file(path_);
+    file << "wrong,header\n1,2\n";
+  }
+  EXPECT_THROW((void)load_states(path_), std::invalid_argument);
+}
+
+TEST_F(ReplayTest, RejectsTruncatedColumns) {
+  {
+    std::ofstream file(path_);
+    // slot,price but no f/d/h columns.
+    file << "slot,price,f_0,d_0\n0,50,1e8,5e6\n";
+  }
+  EXPECT_THROW((void)load_states(path_), std::invalid_argument);
+}
+
+TEST_F(ReplayTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_states("/tmp/definitely_missing_eotora.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eotora::sim

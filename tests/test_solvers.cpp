@@ -1,0 +1,224 @@
+// MCBA, ROPT, brute force, and branch & bound.
+#include <gtest/gtest.h>
+
+#include "core/bnb.h"
+#include "core/brute_force.h"
+#include "core/cgba.h"
+#include "core/mcba.h"
+#include "core/ropt.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+namespace {
+
+TEST(Ropt, ProducesFeasibleProfile) {
+  util::Rng rng(1);
+  const Instance instance = test::tiny_instance(5);
+  const SlotState state = test::random_state(5, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult result = ropt(problem, rng);
+  EXPECT_EQ(result.profile.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_LT(result.profile[i], problem.options(i).size());
+  }
+  EXPECT_NEAR(result.cost, problem.total_cost(result.profile), 1e-12);
+}
+
+TEST(Ropt, DifferentDrawsDiffer) {
+  util::Rng rng(2);
+  const Instance instance = test::tiny_instance(8);
+  const SlotState state = test::random_state(8, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult a = ropt(problem, rng);
+  const SolveResult b = ropt(problem, rng);
+  EXPECT_NE(a.profile, b.profile);  // 8 devices x >=3 options: collision ~0
+}
+
+TEST(Mcba, ImprovesOverInitialRandomProfile) {
+  util::Rng rng(3);
+  const Instance instance = test::tiny_instance(8);
+  const SlotState state = test::random_state(8, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  // Expected random cost: average of a few draws.
+  double random_cost = 0.0;
+  for (int i = 0; i < 10; ++i) random_cost += ropt(problem, rng).cost;
+  random_cost /= 10.0;
+  McbaConfig config;
+  config.iterations = 5000;
+  const SolveResult result = mcba(problem, config, rng);
+  EXPECT_LT(result.cost, random_cost);
+}
+
+TEST(Mcba, BestCostNeverWorseThanAnyVisitedAccepted) {
+  util::Rng rng(4);
+  const Instance instance = test::tiny_instance(5);
+  const SlotState state = test::random_state(5, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult result = mcba(problem, McbaConfig{}, rng);
+  // The returned profile's cost must match its claimed cost.
+  EXPECT_NEAR(result.cost, problem.total_cost(result.profile),
+              1e-9 * result.cost);
+}
+
+TEST(Mcba, NearOptimalOnTinyInstances) {
+  util::Rng rng(5);
+  const Instance instance = test::tiny_instance(4);
+  const SlotState state = test::random_state(4, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult optimal = brute_force(problem);
+  McbaConfig config;
+  config.iterations = 20000;
+  const SolveResult result = mcba(problem, config, rng);
+  EXPECT_LE(result.cost, optimal.cost * 1.25);
+}
+
+TEST(Mcba, RejectsBadConfig) {
+  util::Rng rng(6);
+  const Instance instance = test::tiny_instance(2);
+  const SlotState state = test::uniform_state(2, 2);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  McbaConfig config;
+  config.iterations = 0;
+  EXPECT_THROW((void)mcba(problem, config, rng), std::invalid_argument);
+  config = {};
+  config.final_temperature_fraction = 1.0;
+  config.initial_temperature_fraction = 0.1;
+  EXPECT_THROW((void)mcba(problem, config, rng), std::invalid_argument);
+}
+
+TEST(BruteForce, FindsHandCheckableOptimum) {
+  // One device: optimum is its cheapest singleton option.
+  util::Rng rng(7);
+  const Instance instance = test::tiny_instance(1);
+  const SlotState state = test::random_state(1, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult result = brute_force(problem);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_NEAR(result.cost, problem.singleton_lower_bound(), 1e-12);
+}
+
+TEST(BruteForce, RejectsHugeSearchSpace) {
+  util::Rng rng(8);
+  const Instance instance = test::tiny_instance(10);
+  const SlotState state = test::random_state(10, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  EXPECT_THROW((void)brute_force(problem, 100), std::invalid_argument);
+}
+
+class BnbExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbExactness, MatchesBruteForce) {
+  util::Rng rng(700 + GetParam());
+  const std::size_t devices = 2 + rng.index(5);  // up to 6 devices
+  const Instance instance = test::tiny_instance(devices);
+  const SlotState state = test::random_state(devices, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult exact = brute_force(problem);
+  const SolveResult bnb = branch_and_bound(problem);
+  EXPECT_TRUE(bnb.optimal);
+  EXPECT_NEAR(bnb.cost, exact.cost, 1e-9 * exact.cost);
+  EXPECT_NEAR(bnb.lower_bound, bnb.cost, 1e-9 * bnb.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbExactness, ::testing::Range(0, 15));
+
+TEST(Bnb, ExploresFarFewerNodesThanBruteForce) {
+  util::Rng rng(9);
+  const Instance instance = test::tiny_instance(8);
+  const SlotState state = test::random_state(8, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult exact = brute_force(problem);
+  const SolveResult bnb = branch_and_bound(problem);
+  EXPECT_TRUE(bnb.optimal);
+  EXPECT_NEAR(bnb.cost, exact.cost, 1e-9 * exact.cost);
+  EXPECT_LT(bnb.iterations, exact.iterations / 2);
+}
+
+TEST(Bnb, WarmStartHelpsPruning) {
+  util::Rng rng(10);
+  const Instance instance = test::tiny_instance(9);
+  const SlotState state = test::random_state(9, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult cold = branch_and_bound(problem);
+  // Warm start with the CGBA equilibrium.
+  util::Rng cgba_rng(11);
+  const SolveResult warm_source = cgba(problem, CgbaConfig{}, cgba_rng);
+  BnbConfig config;
+  config.initial_incumbent = warm_source.profile;
+  const SolveResult warm = branch_and_bound(problem, config);
+  EXPECT_NEAR(warm.cost, cold.cost, 1e-9 * cold.cost);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(Bnb, NodeBudgetDegradesGracefully) {
+  util::Rng rng(12);
+  const Instance instance = test::tiny_instance(10);
+  const SlotState state = test::random_state(10, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  BnbConfig config;
+  config.node_budget = 5;
+  util::Rng cgba_rng(13);
+  config.initial_incumbent = cgba(problem, CgbaConfig{}, cgba_rng).profile;
+  const SolveResult result = branch_and_bound(problem, config);
+  EXPECT_FALSE(result.optimal);
+  EXPECT_FALSE(result.converged);
+  // Incumbent and bound bracket the optimum.
+  EXPECT_LE(result.lower_bound, result.cost + 1e-9);
+  EXPECT_NEAR(result.cost, problem.total_cost(result.profile),
+              1e-9 * result.cost);
+}
+
+TEST(Bnb, RelativeGapStillNearOptimal) {
+  util::Rng rng(14);
+  const Instance instance = test::tiny_instance(7);
+  const SlotState state = test::random_state(7, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const SolveResult exact = brute_force(problem);
+  BnbConfig config;
+  config.relative_gap = 0.05;
+  const SolveResult result = branch_and_bound(problem, config);
+  EXPECT_FALSE(result.optimal);  // gap > 0 never certifies exact optimality
+  EXPECT_LE(result.cost, exact.cost / (1.0 - 0.05) + 1e-9);
+}
+
+TEST(Bnb, RejectsBadGap) {
+  util::Rng rng(15);
+  const Instance instance = test::tiny_instance(2);
+  const SlotState state = test::uniform_state(2, 2);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  BnbConfig config;
+  config.relative_gap = 1.0;
+  EXPECT_THROW((void)branch_and_bound(problem, config),
+               std::invalid_argument);
+}
+
+// Ranking property that Fig. 4 relies on: CGBA <= MCBA (typically) and both
+// beat ROPT on average; B&B is the floor.
+TEST(SolverRanking, HoldsOnAverage) {
+  util::Rng rng(16);
+  double cgba_total = 0.0;
+  double mcba_total = 0.0;
+  double ropt_total = 0.0;
+  double optimal_total = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t devices = 6;
+    const Instance instance = test::tiny_instance(devices);
+    const SlotState state = test::random_state(devices, 2, rng);
+    const WcgProblem problem(instance, state, instance.max_frequencies());
+    cgba_total += cgba(problem, CgbaConfig{}, rng).cost;
+    McbaConfig mcba_config;
+    mcba_config.iterations = 2000;
+    mcba_total += mcba(problem, mcba_config, rng).cost;
+    ropt_total += ropt(problem, rng).cost;
+    optimal_total += branch_and_bound(problem).cost;
+  }
+  EXPECT_LE(optimal_total, cgba_total * (1.0 + 1e-9));
+  EXPECT_LT(cgba_total, ropt_total);
+  EXPECT_LT(mcba_total, ropt_total);
+  // CGBA near-optimality (paper: ~1.02x against Gurobi).
+  EXPECT_LT(cgba_total, optimal_total * 1.10);
+}
+
+}  // namespace
+}  // namespace eotora::core

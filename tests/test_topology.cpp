@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "energy/quadratic_energy.h"
+#include "topology/builder.h"
+#include "topology/channel_model.h"
+#include "topology/mobility.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace eotora::topology {
+namespace {
+
+std::shared_ptr<const energy::EnergyModel> model() {
+  return std::make_shared<energy::QuadraticEnergy>(5.0, 2.0, 20.0);
+}
+
+TEST(Geometry, DistanceAndRegion) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  const Region region{100.0, 50.0};
+  EXPECT_TRUE(region.contains({50.0, 25.0}));
+  EXPECT_FALSE(region.contains({-1.0, 0.0}));
+  const Point clamped = region.clamp({200.0, -10.0});
+  EXPECT_DOUBLE_EQ(clamped.x, 100.0);
+  EXPECT_DOUBLE_EQ(clamped.y, 0.0);
+}
+
+TEST(Ids, DistinctTypesCompare) {
+  EXPECT_EQ(ServerId{3}, ServerId{3});
+  EXPECT_NE(ServerId{3}, ServerId{4});
+  EXPECT_LT(BaseStationId{1}, BaseStationId{2});
+}
+
+TEST(Builder, BuildsConsistentTopology) {
+  TopologyBuilder builder;
+  builder.set_region({1000.0, 1000.0});
+  const auto room = builder.add_cluster("room", {500.0, 500.0});
+  const auto s0 = builder.add_server("s0", room, 64, 1.8, 3.6, model());
+  builder.add_base_station("bs", {500.0, 500.0}, Band::kMid, 300.0, 75e6,
+                           0.7e9, 10.0, {room});
+  builder.add_device("d0", {400.0, 500.0});
+  const Topology topo = builder.build();
+  EXPECT_EQ(topo.num_clusters(), 1u);
+  EXPECT_EQ(topo.num_servers(), 1u);
+  EXPECT_EQ(topo.num_base_stations(), 1u);
+  EXPECT_EQ(topo.num_devices(), 1u);
+  EXPECT_EQ(topo.cluster(room).servers.size(), 1u);
+  EXPECT_EQ(topo.server(s0).cluster, room);
+}
+
+TEST(Builder, RejectsServerInUnknownCluster) {
+  TopologyBuilder builder;
+  EXPECT_THROW((void)builder.add_server("s", ClusterId{0}, 64, 1.8, 3.6,
+                                        model()),
+               std::invalid_argument);
+}
+
+TEST(Topology, RejectsBaseStationWithoutCluster) {
+  TopologyBuilder builder;
+  builder.set_region({100.0, 100.0});
+  const auto room = builder.add_cluster("room", {50.0, 50.0});
+  builder.add_server("s", room, 64, 1.8, 3.6, model());
+  builder.add_base_station("bs", {50.0, 50.0}, Band::kMid, 100.0, 75e6, 0.7e9,
+                           10.0, {});
+  EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(Topology, RejectsEmptyCluster) {
+  TopologyBuilder builder;
+  builder.set_region({100.0, 100.0});
+  const auto room = builder.add_cluster("room", {50.0, 50.0});
+  const auto ghost = builder.add_cluster("ghost", {10.0, 10.0});
+  builder.add_server("s", room, 64, 1.8, 3.6, model());
+  builder.add_base_station("bs", {50.0, 50.0}, Band::kMid, 100.0, 75e6, 0.7e9,
+                           10.0, {room, ghost});
+  EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(Topology, RejectsBadFrequencyRange) {
+  TopologyBuilder builder;
+  builder.set_region({100.0, 100.0});
+  const auto room = builder.add_cluster("room", {50.0, 50.0});
+  builder.add_server("s", room, 64, 3.6, 1.8, model());
+  builder.add_base_station("bs", {50.0, 50.0}, Band::kMid, 100.0, 75e6, 0.7e9,
+                           10.0, {room});
+  EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(Topology, CoverageDiscWorks) {
+  TopologyBuilder builder;
+  builder.set_region({1000.0, 1000.0});
+  const auto room = builder.add_cluster("room", {0.0, 0.0});
+  builder.add_server("s", room, 64, 1.8, 3.6, model());
+  const auto bs = builder.add_base_station("bs", {500.0, 500.0}, Band::kMid,
+                                           100.0, 75e6, 0.7e9, 10.0, {room});
+  const Topology topo = builder.build();
+  EXPECT_TRUE(topo.covers(bs, {550.0, 500.0}));
+  EXPECT_TRUE(topo.covers(bs, {500.0, 600.0}));
+  EXPECT_FALSE(topo.covers(bs, {650.0, 500.0}));
+  EXPECT_EQ(topo.covering_base_stations({550.0, 500.0}).size(), 1u);
+  EXPECT_TRUE(topo.covering_base_stations({0.0, 0.0}).empty());
+}
+
+TEST(Topology, ReachableServersFollowFronthaul) {
+  TopologyBuilder builder;
+  builder.set_region({1000.0, 1000.0});
+  const auto room0 = builder.add_cluster("r0", {0.0, 0.0});
+  const auto room1 = builder.add_cluster("r1", {900.0, 900.0});
+  const auto s0 = builder.add_server("s0", room0, 64, 1.8, 3.6, model());
+  const auto s1 = builder.add_server("s1", room1, 64, 1.8, 3.6, model());
+  const auto s2 = builder.add_server("s2", room1, 64, 1.8, 3.6, model());
+  const auto wired = builder.add_base_station(
+      "wired", {100.0, 100.0}, Band::kMid, 300.0, 75e6, 0.7e9, 10.0, {room0});
+  const auto wireless = builder.add_base_station(
+      "wireless", {500.0, 500.0}, Band::kLow, 2000.0, 75e6, 0.7e9, 10.0,
+      {room0, room1});
+  const Topology topo = builder.build();
+  const auto& from_wired = topo.reachable_servers(wired);
+  ASSERT_EQ(from_wired.size(), 1u);
+  EXPECT_EQ(from_wired[0], s0);
+  const auto& from_wireless = topo.reachable_servers(wireless);
+  ASSERT_EQ(from_wireless.size(), 3u);
+  EXPECT_EQ(from_wireless[0], s0);
+  EXPECT_EQ(from_wireless[1], s1);
+  EXPECT_EQ(from_wireless[2], s2);
+}
+
+TEST(Topology, DevicePositionsClampToRegion) {
+  TopologyBuilder builder;
+  builder.set_region({100.0, 100.0});
+  const auto room = builder.add_cluster("room", {50.0, 50.0});
+  builder.add_server("s", room, 64, 1.8, 3.6, model());
+  builder.add_base_station("bs", {50.0, 50.0}, Band::kLow, 500.0, 75e6, 0.7e9,
+                           10.0, {room});
+  const auto d = builder.add_device("d", {500.0, 500.0});
+  Topology topo = builder.build();
+  EXPECT_DOUBLE_EQ(topo.device(d).position.x, 100.0);
+  topo.set_device_position(d, {-5.0, 42.0});
+  EXPECT_DOUBLE_EQ(topo.device(d).position.x, 0.0);
+  EXPECT_DOUBLE_EQ(topo.device(d).position.y, 42.0);
+}
+
+TEST(Server, CapacityAndPowerScaleWithCores) {
+  Server server;
+  server.cores = 64;
+  server.energy_model = model();
+  EXPECT_DOUBLE_EQ(server.capacity_hz(2.0), 64.0 * 2e9);
+  // 64-core power = 16x the 4-core reference model.
+  EXPECT_DOUBLE_EQ(server.power_watts(2.0),
+                   server.energy_model->power(2.0) * 16.0);
+  EXPECT_DOUBLE_EQ(server.power_derivative_watts(2.0),
+                   server.energy_model->power_derivative(2.0) * 16.0);
+}
+
+class ChannelFixture : public ::testing::Test {
+ protected:
+  ChannelFixture() {
+    TopologyBuilder builder;
+    builder.set_region({1000.0, 1000.0});
+    const auto room = builder.add_cluster("room", {500.0, 500.0});
+    builder.add_server("s", room, 64, 1.8, 3.6, model());
+    builder.add_base_station("near", {500.0, 500.0}, Band::kLow, 2000.0, 75e6,
+                             0.7e9, 10.0, {room});
+    builder.add_base_station("small", {100.0, 100.0}, Band::kMid, 150.0, 75e6,
+                             0.7e9, 10.0, {room});
+    builder.add_device("covered", {500.0, 500.0});
+    builder.add_device("far", {900.0, 900.0});
+    topo_ = std::make_unique<Topology>(builder.build());
+  }
+  std::unique_ptr<Topology> topo_;
+};
+
+TEST_F(ChannelFixture, EfficienciesWithinPaperRangeWhenCovered) {
+  ChannelModel channel(ChannelConfig{}, *topo_, util::Rng(3));
+  for (int t = 0; t < 50; ++t) {
+    const auto h = channel.step(*topo_);
+    ASSERT_EQ(h.size(), 2u);
+    ASSERT_EQ(h[0].size(), 2u);
+    // Device 0 is covered by the wide station: always usable and in range.
+    EXPECT_GE(h[0][0], 15.0);
+    EXPECT_LE(h[0][0], 50.0);
+    // Device 1 is outside the small cell: unusable.
+    EXPECT_DOUBLE_EQ(h[1][1], 0.0);
+  }
+}
+
+TEST_F(ChannelFixture, BaseEfficienciesDrawnFromConfiguredRange) {
+  ChannelModel channel(ChannelConfig{}, *topo_, util::Rng(4));
+  for (double base : channel.base_efficiencies()) {
+    EXPECT_GE(base, 15.0);
+    EXPECT_LE(base, 50.0);
+  }
+}
+
+TEST_F(ChannelFixture, ChannelVariesOverTime) {
+  ChannelModel channel(ChannelConfig{}, *topo_, util::Rng(5));
+  const auto h1 = channel.step(*topo_);
+  const auto h2 = channel.step(*topo_);
+  EXPECT_NE(h1[0][0], h2[0][0]);
+}
+
+TEST_F(ChannelFixture, RejectsBadConfig) {
+  ChannelConfig config;
+  config.shadowing_rho = 1.0;
+  EXPECT_THROW(ChannelModel(config, *topo_, util::Rng(1)),
+               std::invalid_argument);
+  ChannelConfig config2;
+  config2.min_efficiency = 50.0;
+  config2.max_efficiency = 15.0;
+  EXPECT_THROW(ChannelModel(config2, *topo_, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST_F(ChannelFixture, MobilityMovesDevicesWithinRegion) {
+  RandomWaypointMobility mobility(MobilityConfig{60.0, 0.0}, 2, util::Rng(6));
+  const Point before = topo_->device(DeviceId{0}).position;
+  bool moved = false;
+  for (int t = 0; t < 20; ++t) {
+    mobility.step(*topo_);
+    const Point pos = topo_->device(DeviceId{0}).position;
+    EXPECT_TRUE(topo_->region().contains(pos));
+    if (distance(pos, before) > 1.0) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST_F(ChannelFixture, MobilityStepIsBoundedBySpeed) {
+  RandomWaypointMobility mobility(MobilityConfig{60.0, 0.0}, 2, util::Rng(7));
+  Point previous = topo_->device(DeviceId{0}).position;
+  const double max_step =
+      topo_->device(DeviceId{0}).speed_mps * 60.0 + 1e-9;
+  for (int t = 0; t < 30; ++t) {
+    mobility.step(*topo_);
+    const Point pos = topo_->device(DeviceId{0}).position;
+    EXPECT_LE(distance(previous, pos), max_step);
+    previous = pos;
+  }
+}
+
+TEST_F(ChannelFixture, MobilityRejectsWrongDeviceCount) {
+  RandomWaypointMobility mobility(MobilityConfig{60.0, 0.0}, 5, util::Rng(8));
+  EXPECT_THROW(mobility.step(*topo_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eotora::topology

@@ -1,0 +1,61 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace eotora::util {
+namespace {
+
+Args make(std::vector<const char*> argv, std::set<std::string> allowed) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data(),
+              std::move(allowed));
+}
+
+TEST(Args, ParsesKeyValuePairs) {
+  const Args args = make({"--v=100", "--policy=bdma"}, {"v", "policy"});
+  EXPECT_TRUE(args.has("v"));
+  EXPECT_DOUBLE_EQ(args.get_double("v", 0.0), 100.0);
+  EXPECT_EQ(args.get("policy", ""), "bdma");
+}
+
+TEST(Args, FlagWithoutValue) {
+  const Args args = make({"--help"}, {"help"});
+  EXPECT_TRUE(args.has("help"));
+  EXPECT_EQ(args.get("help", "x"), "");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args args = make({}, {"v"});
+  EXPECT_FALSE(args.has("v"));
+  EXPECT_DOUBLE_EQ(args.get_double("v", 2.5), 2.5);
+  EXPECT_EQ(args.get_int("v", 7), 7);
+  EXPECT_EQ(args.get("v", "dflt"), "dflt");
+}
+
+TEST(Args, RejectsUnknownKey) {
+  EXPECT_THROW(make({"--nope=1"}, {"v"}), std::invalid_argument);
+}
+
+TEST(Args, RejectsNonDashToken) {
+  EXPECT_THROW(make({"bare"}, {"v"}), std::invalid_argument);
+}
+
+TEST(Args, RejectsNonNumericValue) {
+  const Args args = make({"--v=abc"}, {"v"});
+  EXPECT_THROW((void)args.get_double("v", 0.0), std::invalid_argument);
+}
+
+TEST(Args, RejectsNonIntegerForInt) {
+  const Args args = make({"--n=1.5"}, {"n"});
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+  const Args ok = make({"--n=12"}, {"n"});
+  EXPECT_EQ(ok.get_int("n", 0), 12);
+}
+
+TEST(Args, ValueMayContainEquals) {
+  const Args args = make({"--path=/a=b/c"}, {"path"});
+  EXPECT_EQ(args.get("path", ""), "/a=b/c");
+}
+
+}  // namespace
+}  // namespace eotora::util

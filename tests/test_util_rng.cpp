@@ -1,0 +1,146 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eotora::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo = saw_lo || x == 0;
+    saw_hi = saw_hi || x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng;
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.index(5)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, IndexRejectsEmpty) {
+  Rng rng;
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(3);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParamsRejectsNegativeStddev) {
+  Rng rng;
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliProbabilityRoughlyCorrect) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliRejectsBadProbability) {
+  Rng rng;
+  EXPECT_THROW((void)rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng a(99);
+  Rng b(99);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(0.0, 1.0), fb.uniform(0.0, 1.0));
+  }
+  // The fork differs from the parent stream.
+  Rng c(99);
+  Rng fc = c.fork();
+  bool different = false;
+  for (int i = 0; i < 20; ++i) {
+    if (fc.uniform(0.0, 1.0) != c.uniform(0.0, 1.0)) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Rng, PickReturnsElementFromVector) {
+  Rng rng(1);
+  const std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int x = rng.pick(items);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(2);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(rng.exponential(2.0), 0.0);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eotora::util
