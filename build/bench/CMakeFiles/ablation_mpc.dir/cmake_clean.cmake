@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mpc.dir/ablation_mpc.cpp.o"
+  "CMakeFiles/ablation_mpc.dir/ablation_mpc.cpp.o.d"
+  "ablation_mpc"
+  "ablation_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

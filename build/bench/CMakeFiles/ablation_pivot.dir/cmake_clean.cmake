@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pivot.dir/ablation_pivot.cpp.o"
+  "CMakeFiles/ablation_pivot.dir/ablation_pivot.cpp.o.d"
+  "ablation_pivot"
+  "ablation_pivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

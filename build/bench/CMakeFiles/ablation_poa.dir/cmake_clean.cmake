@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_poa.dir/ablation_poa.cpp.o"
+  "CMakeFiles/ablation_poa.dir/ablation_poa.cpp.o.d"
+  "ablation_poa"
+  "ablation_poa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_poa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

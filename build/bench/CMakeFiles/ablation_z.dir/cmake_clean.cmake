@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_z.dir/ablation_z.cpp.o"
+  "CMakeFiles/ablation_z.dir/ablation_z.cpp.o.d"
+  "ablation_z"
+  "ablation_z.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_z.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

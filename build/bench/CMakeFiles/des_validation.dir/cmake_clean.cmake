@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_validation.dir/des_validation.cpp.o"
+  "CMakeFiles/des_validation.dir/des_validation.cpp.o.d"
+  "des_validation"
+  "des_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_traces.cpp" "bench/CMakeFiles/fig2_traces.dir/fig2_traces.cpp.o" "gcc" "bench/CMakeFiles/fig2_traces.dir/fig2_traces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/eotora_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eotora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eotora_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eotora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/eotora_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eotora_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/eotora_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eotora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_p2a_objective.dir/fig4_p2a_objective.cpp.o"
+  "CMakeFiles/fig4_p2a_objective.dir/fig4_p2a_objective.cpp.o.d"
+  "fig4_p2a_objective"
+  "fig4_p2a_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_p2a_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cgba_lambda.dir/fig6_cgba_lambda.cpp.o"
+  "CMakeFiles/fig6_cgba_lambda.dir/fig6_cgba_lambda.cpp.o.d"
+  "fig6_cgba_lambda"
+  "fig6_cgba_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cgba_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

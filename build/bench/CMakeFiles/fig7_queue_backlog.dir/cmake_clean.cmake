@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_queue_backlog.dir/fig7_queue_backlog.cpp.o"
+  "CMakeFiles/fig7_queue_backlog.dir/fig7_queue_backlog.cpp.o.d"
+  "fig7_queue_backlog"
+  "fig7_queue_backlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_queue_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_v_sweep.dir/fig8_v_sweep.cpp.o"
+  "CMakeFiles/fig8_v_sweep.dir/fig8_v_sweep.cpp.o.d"
+  "fig8_v_sweep"
+  "fig8_v_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_v_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

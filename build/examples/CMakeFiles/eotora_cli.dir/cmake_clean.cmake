@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eotora_cli.dir/eotora_cli.cpp.o"
+  "CMakeFiles/eotora_cli.dir/eotora_cli.cpp.o.d"
+  "eotora_cli"
+  "eotora_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eotora_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

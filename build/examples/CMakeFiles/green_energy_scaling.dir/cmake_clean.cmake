@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_energy_scaling.dir/green_energy_scaling.cpp.o"
+  "CMakeFiles/green_energy_scaling.dir/green_energy_scaling.cpp.o.d"
+  "green_energy_scaling"
+  "green_energy_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_energy_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_custom_topology "/root/repo/build/examples/custom_topology")
+set_tests_properties(example_custom_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_help "/root/repo/build/examples/eotora_cli" "--help")
+set_tests_properties(example_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_tiny_run "/root/repo/build/examples/eotora_cli" "--policy=greedy" "--devices=10" "--days=1" "--seed=3")
+set_tests_properties(example_cli_tiny_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alloc_rules.cpp" "src/core/CMakeFiles/eotora_core.dir/alloc_rules.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/alloc_rules.cpp.o.d"
+  "/root/repo/src/core/bdma.cpp" "src/core/CMakeFiles/eotora_core.dir/bdma.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/bdma.cpp.o.d"
+  "/root/repo/src/core/beta_only.cpp" "src/core/CMakeFiles/eotora_core.dir/beta_only.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/beta_only.cpp.o.d"
+  "/root/repo/src/core/bnb.cpp" "src/core/CMakeFiles/eotora_core.dir/bnb.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/bnb.cpp.o.d"
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/eotora_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/cgba.cpp" "src/core/CMakeFiles/eotora_core.dir/cgba.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/cgba.cpp.o.d"
+  "/root/repo/src/core/dpp.cpp" "src/core/CMakeFiles/eotora_core.dir/dpp.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/dpp.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/eotora_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/core/CMakeFiles/eotora_core.dir/latency.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/latency.cpp.o.d"
+  "/root/repo/src/core/lemma1.cpp" "src/core/CMakeFiles/eotora_core.dir/lemma1.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/lemma1.cpp.o.d"
+  "/root/repo/src/core/lyapunov.cpp" "src/core/CMakeFiles/eotora_core.dir/lyapunov.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/lyapunov.cpp.o.d"
+  "/root/repo/src/core/mcba.cpp" "src/core/CMakeFiles/eotora_core.dir/mcba.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/mcba.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/eotora_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/p2b.cpp" "src/core/CMakeFiles/eotora_core.dir/p2b.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/p2b.cpp.o.d"
+  "/root/repo/src/core/p2b_discrete.cpp" "src/core/CMakeFiles/eotora_core.dir/p2b_discrete.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/p2b_discrete.cpp.o.d"
+  "/root/repo/src/core/relaxation.cpp" "src/core/CMakeFiles/eotora_core.dir/relaxation.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/relaxation.cpp.o.d"
+  "/root/repo/src/core/ropt.cpp" "src/core/CMakeFiles/eotora_core.dir/ropt.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/ropt.cpp.o.d"
+  "/root/repo/src/core/wcg.cpp" "src/core/CMakeFiles/eotora_core.dir/wcg.cpp.o" "gcc" "src/core/CMakeFiles/eotora_core.dir/wcg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eotora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/eotora_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eotora_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/eotora_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

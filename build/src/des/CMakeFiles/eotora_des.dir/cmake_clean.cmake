@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eotora_des.dir/flow_sim.cpp.o"
+  "CMakeFiles/eotora_des.dir/flow_sim.cpp.o.d"
+  "libeotora_des.a"
+  "libeotora_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eotora_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cpu_power_data.cpp" "src/energy/CMakeFiles/eotora_energy.dir/cpu_power_data.cpp.o" "gcc" "src/energy/CMakeFiles/eotora_energy.dir/cpu_power_data.cpp.o.d"
+  "/root/repo/src/energy/fit.cpp" "src/energy/CMakeFiles/eotora_energy.dir/fit.cpp.o" "gcc" "src/energy/CMakeFiles/eotora_energy.dir/fit.cpp.o.d"
+  "/root/repo/src/energy/linear_energy.cpp" "src/energy/CMakeFiles/eotora_energy.dir/linear_energy.cpp.o" "gcc" "src/energy/CMakeFiles/eotora_energy.dir/linear_energy.cpp.o.d"
+  "/root/repo/src/energy/piecewise_energy.cpp" "src/energy/CMakeFiles/eotora_energy.dir/piecewise_energy.cpp.o" "gcc" "src/energy/CMakeFiles/eotora_energy.dir/piecewise_energy.cpp.o.d"
+  "/root/repo/src/energy/quadratic_energy.cpp" "src/energy/CMakeFiles/eotora_energy.dir/quadratic_energy.cpp.o" "gcc" "src/energy/CMakeFiles/eotora_energy.dir/quadratic_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eotora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/eotora_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eotora_energy.dir/cpu_power_data.cpp.o"
+  "CMakeFiles/eotora_energy.dir/cpu_power_data.cpp.o.d"
+  "CMakeFiles/eotora_energy.dir/fit.cpp.o"
+  "CMakeFiles/eotora_energy.dir/fit.cpp.o.d"
+  "CMakeFiles/eotora_energy.dir/linear_energy.cpp.o"
+  "CMakeFiles/eotora_energy.dir/linear_energy.cpp.o.d"
+  "CMakeFiles/eotora_energy.dir/piecewise_energy.cpp.o"
+  "CMakeFiles/eotora_energy.dir/piecewise_energy.cpp.o.d"
+  "CMakeFiles/eotora_energy.dir/quadratic_energy.cpp.o"
+  "CMakeFiles/eotora_energy.dir/quadratic_energy.cpp.o.d"
+  "libeotora_energy.a"
+  "libeotora_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eotora_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/linsolve.cpp" "src/math/CMakeFiles/eotora_math.dir/linsolve.cpp.o" "gcc" "src/math/CMakeFiles/eotora_math.dir/linsolve.cpp.o.d"
+  "/root/repo/src/math/minimize1d.cpp" "src/math/CMakeFiles/eotora_math.dir/minimize1d.cpp.o" "gcc" "src/math/CMakeFiles/eotora_math.dir/minimize1d.cpp.o.d"
+  "/root/repo/src/math/polyfit.cpp" "src/math/CMakeFiles/eotora_math.dir/polyfit.cpp.o" "gcc" "src/math/CMakeFiles/eotora_math.dir/polyfit.cpp.o.d"
+  "/root/repo/src/math/projgrad.cpp" "src/math/CMakeFiles/eotora_math.dir/projgrad.cpp.o" "gcc" "src/math/CMakeFiles/eotora_math.dir/projgrad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eotora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eotora_math.dir/linsolve.cpp.o"
+  "CMakeFiles/eotora_math.dir/linsolve.cpp.o.d"
+  "CMakeFiles/eotora_math.dir/minimize1d.cpp.o"
+  "CMakeFiles/eotora_math.dir/minimize1d.cpp.o.d"
+  "CMakeFiles/eotora_math.dir/polyfit.cpp.o"
+  "CMakeFiles/eotora_math.dir/polyfit.cpp.o.d"
+  "CMakeFiles/eotora_math.dir/projgrad.cpp.o"
+  "CMakeFiles/eotora_math.dir/projgrad.cpp.o.d"
+  "libeotora_math.a"
+  "libeotora_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eotora_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

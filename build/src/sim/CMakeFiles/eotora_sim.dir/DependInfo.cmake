@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/decision_log.cpp" "src/sim/CMakeFiles/eotora_sim.dir/decision_log.cpp.o" "gcc" "src/sim/CMakeFiles/eotora_sim.dir/decision_log.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/eotora_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/eotora_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/mpc_policy.cpp" "src/sim/CMakeFiles/eotora_sim.dir/mpc_policy.cpp.o" "gcc" "src/sim/CMakeFiles/eotora_sim.dir/mpc_policy.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/sim/CMakeFiles/eotora_sim.dir/policy.cpp.o" "gcc" "src/sim/CMakeFiles/eotora_sim.dir/policy.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/sim/CMakeFiles/eotora_sim.dir/replay.cpp.o" "gcc" "src/sim/CMakeFiles/eotora_sim.dir/replay.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/eotora_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/eotora_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/eotora_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/eotora_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/eotora_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/eotora_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eotora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eotora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/eotora_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eotora_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eotora_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/eotora_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eotora_sim.dir/decision_log.cpp.o"
+  "CMakeFiles/eotora_sim.dir/decision_log.cpp.o.d"
+  "CMakeFiles/eotora_sim.dir/experiment.cpp.o"
+  "CMakeFiles/eotora_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/eotora_sim.dir/mpc_policy.cpp.o"
+  "CMakeFiles/eotora_sim.dir/mpc_policy.cpp.o.d"
+  "CMakeFiles/eotora_sim.dir/policy.cpp.o"
+  "CMakeFiles/eotora_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/eotora_sim.dir/replay.cpp.o"
+  "CMakeFiles/eotora_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/eotora_sim.dir/report.cpp.o"
+  "CMakeFiles/eotora_sim.dir/report.cpp.o.d"
+  "CMakeFiles/eotora_sim.dir/scenario.cpp.o"
+  "CMakeFiles/eotora_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/eotora_sim.dir/simulator.cpp.o"
+  "CMakeFiles/eotora_sim.dir/simulator.cpp.o.d"
+  "libeotora_sim.a"
+  "libeotora_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eotora_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/builder.cpp" "src/topology/CMakeFiles/eotora_topology.dir/builder.cpp.o" "gcc" "src/topology/CMakeFiles/eotora_topology.dir/builder.cpp.o.d"
+  "/root/repo/src/topology/channel_model.cpp" "src/topology/CMakeFiles/eotora_topology.dir/channel_model.cpp.o" "gcc" "src/topology/CMakeFiles/eotora_topology.dir/channel_model.cpp.o.d"
+  "/root/repo/src/topology/coverage.cpp" "src/topology/CMakeFiles/eotora_topology.dir/coverage.cpp.o" "gcc" "src/topology/CMakeFiles/eotora_topology.dir/coverage.cpp.o.d"
+  "/root/repo/src/topology/mobility.cpp" "src/topology/CMakeFiles/eotora_topology.dir/mobility.cpp.o" "gcc" "src/topology/CMakeFiles/eotora_topology.dir/mobility.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/eotora_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/eotora_topology.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eotora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eotora_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/eotora_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eotora_topology.dir/builder.cpp.o"
+  "CMakeFiles/eotora_topology.dir/builder.cpp.o.d"
+  "CMakeFiles/eotora_topology.dir/channel_model.cpp.o"
+  "CMakeFiles/eotora_topology.dir/channel_model.cpp.o.d"
+  "CMakeFiles/eotora_topology.dir/coverage.cpp.o"
+  "CMakeFiles/eotora_topology.dir/coverage.cpp.o.d"
+  "CMakeFiles/eotora_topology.dir/mobility.cpp.o"
+  "CMakeFiles/eotora_topology.dir/mobility.cpp.o.d"
+  "CMakeFiles/eotora_topology.dir/topology.cpp.o"
+  "CMakeFiles/eotora_topology.dir/topology.cpp.o.d"
+  "libeotora_topology.a"
+  "libeotora_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eotora_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

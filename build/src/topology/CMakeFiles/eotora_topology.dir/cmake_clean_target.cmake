@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeotora_topology.a"
+)

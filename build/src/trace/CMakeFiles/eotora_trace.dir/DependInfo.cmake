@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/decompose.cpp" "src/trace/CMakeFiles/eotora_trace.dir/decompose.cpp.o" "gcc" "src/trace/CMakeFiles/eotora_trace.dir/decompose.cpp.o.d"
+  "/root/repo/src/trace/nyiso_csv.cpp" "src/trace/CMakeFiles/eotora_trace.dir/nyiso_csv.cpp.o" "gcc" "src/trace/CMakeFiles/eotora_trace.dir/nyiso_csv.cpp.o.d"
+  "/root/repo/src/trace/online_trend.cpp" "src/trace/CMakeFiles/eotora_trace.dir/online_trend.cpp.o" "gcc" "src/trace/CMakeFiles/eotora_trace.dir/online_trend.cpp.o.d"
+  "/root/repo/src/trace/periodic.cpp" "src/trace/CMakeFiles/eotora_trace.dir/periodic.cpp.o" "gcc" "src/trace/CMakeFiles/eotora_trace.dir/periodic.cpp.o.d"
+  "/root/repo/src/trace/price_trace.cpp" "src/trace/CMakeFiles/eotora_trace.dir/price_trace.cpp.o" "gcc" "src/trace/CMakeFiles/eotora_trace.dir/price_trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/eotora_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/eotora_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workload_trace.cpp" "src/trace/CMakeFiles/eotora_trace.dir/workload_trace.cpp.o" "gcc" "src/trace/CMakeFiles/eotora_trace.dir/workload_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eotora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eotora_trace.dir/decompose.cpp.o"
+  "CMakeFiles/eotora_trace.dir/decompose.cpp.o.d"
+  "CMakeFiles/eotora_trace.dir/nyiso_csv.cpp.o"
+  "CMakeFiles/eotora_trace.dir/nyiso_csv.cpp.o.d"
+  "CMakeFiles/eotora_trace.dir/online_trend.cpp.o"
+  "CMakeFiles/eotora_trace.dir/online_trend.cpp.o.d"
+  "CMakeFiles/eotora_trace.dir/periodic.cpp.o"
+  "CMakeFiles/eotora_trace.dir/periodic.cpp.o.d"
+  "CMakeFiles/eotora_trace.dir/price_trace.cpp.o"
+  "CMakeFiles/eotora_trace.dir/price_trace.cpp.o.d"
+  "CMakeFiles/eotora_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/eotora_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/eotora_trace.dir/workload_trace.cpp.o"
+  "CMakeFiles/eotora_trace.dir/workload_trace.cpp.o.d"
+  "libeotora_trace.a"
+  "libeotora_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eotora_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

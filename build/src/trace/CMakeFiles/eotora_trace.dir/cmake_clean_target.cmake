@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeotora_trace.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eotora_util.dir/args.cpp.o"
+  "CMakeFiles/eotora_util.dir/args.cpp.o.d"
+  "CMakeFiles/eotora_util.dir/check.cpp.o"
+  "CMakeFiles/eotora_util.dir/check.cpp.o.d"
+  "CMakeFiles/eotora_util.dir/stats.cpp.o"
+  "CMakeFiles/eotora_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eotora_util.dir/strings.cpp.o"
+  "CMakeFiles/eotora_util.dir/strings.cpp.o.d"
+  "CMakeFiles/eotora_util.dir/table.cpp.o"
+  "CMakeFiles/eotora_util.dir/table.cpp.o.d"
+  "libeotora_util.a"
+  "libeotora_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eotora_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

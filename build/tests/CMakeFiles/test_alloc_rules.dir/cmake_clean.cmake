@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_rules.dir/test_alloc_rules.cpp.o"
+  "CMakeFiles/test_alloc_rules.dir/test_alloc_rules.cpp.o.d"
+  "test_alloc_rules"
+  "test_alloc_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

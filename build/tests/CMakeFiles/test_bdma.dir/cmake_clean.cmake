@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdma.dir/test_bdma.cpp.o"
+  "CMakeFiles/test_bdma.dir/test_bdma.cpp.o.d"
+  "test_bdma"
+  "test_bdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_bdma.
+# This may be replaced when dependencies are built.

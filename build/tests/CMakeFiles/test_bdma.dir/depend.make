@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bdma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beta_only.dir/test_beta_only.cpp.o"
+  "CMakeFiles/test_beta_only.dir/test_beta_only.cpp.o.d"
+  "test_beta_only"
+  "test_beta_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beta_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgba.dir/test_cgba.cpp.o"
+  "CMakeFiles/test_cgba.dir/test_cgba.cpp.o.d"
+  "test_cgba"
+  "test_cgba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_stats.dir/test_channel_stats.cpp.o"
+  "CMakeFiles/test_channel_stats.dir/test_channel_stats.cpp.o.d"
+  "test_channel_stats"
+  "test_channel_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

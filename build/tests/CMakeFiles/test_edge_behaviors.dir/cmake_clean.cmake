@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_behaviors.dir/test_edge_behaviors.cpp.o"
+  "CMakeFiles/test_edge_behaviors.dir/test_edge_behaviors.cpp.o.d"
+  "test_edge_behaviors"
+  "test_edge_behaviors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lyapunov.dir/test_lyapunov.cpp.o"
+  "CMakeFiles/test_lyapunov.dir/test_lyapunov.cpp.o.d"
+  "test_lyapunov"
+  "test_lyapunov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lyapunov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_minimize1d.dir/test_math_minimize1d.cpp.o"
+  "CMakeFiles/test_math_minimize1d.dir/test_math_minimize1d.cpp.o.d"
+  "test_math_minimize1d"
+  "test_math_minimize1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_minimize1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_polyfit.dir/test_math_polyfit.cpp.o"
+  "CMakeFiles/test_math_polyfit.dir/test_math_polyfit.cpp.o.d"
+  "test_math_polyfit"
+  "test_math_polyfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_polyfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

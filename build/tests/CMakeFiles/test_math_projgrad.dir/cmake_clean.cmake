@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_projgrad.dir/test_math_projgrad.cpp.o"
+  "CMakeFiles/test_math_projgrad.dir/test_math_projgrad.cpp.o.d"
+  "test_math_projgrad"
+  "test_math_projgrad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_projgrad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobility_variants.dir/test_mobility_variants.cpp.o"
+  "CMakeFiles/test_mobility_variants.dir/test_mobility_variants.cpp.o.d"
+  "test_mobility_variants"
+  "test_mobility_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobility_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

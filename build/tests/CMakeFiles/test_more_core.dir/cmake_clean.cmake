@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_more_core.dir/test_more_core.cpp.o"
+  "CMakeFiles/test_more_core.dir/test_more_core.cpp.o.d"
+  "test_more_core"
+  "test_more_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_more_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_trend.dir/test_online_trend.cpp.o"
+  "CMakeFiles/test_online_trend.dir/test_online_trend.cpp.o.d"
+  "test_online_trend"
+  "test_online_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2b.dir/test_p2b.cpp.o"
+  "CMakeFiles/test_p2b.dir/test_p2b.cpp.o.d"
+  "test_p2b"
+  "test_p2b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

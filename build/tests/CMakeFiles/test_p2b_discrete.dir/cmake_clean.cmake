@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2b_discrete.dir/test_p2b_discrete.cpp.o"
+  "CMakeFiles/test_p2b_discrete.dir/test_p2b_discrete.cpp.o.d"
+  "test_p2b_discrete"
+  "test_p2b_discrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2b_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relaxation.dir/test_relaxation.cpp.o"
+  "CMakeFiles/test_relaxation.dir/test_relaxation.cpp.o.d"
+  "test_relaxation"
+  "test_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

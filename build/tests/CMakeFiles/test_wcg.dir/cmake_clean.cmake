@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wcg.dir/test_wcg.cpp.o"
+  "CMakeFiles/test_wcg.dir/test_wcg.cpp.o.d"
+  "test_wcg"
+  "test_wcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
