@@ -3,39 +3,47 @@
 //
 // Paper's reported shape: backlog grows roughly linearly in V; average
 // latency decreases toward a floor as V grows (Theorem 4's B*D/V gap).
+//
+// Runs through sim::run_sweep; cells execute over the shared thread pool
+// and the results are identical for any --threads value.
+//
+//   --devices=N --seed=S --horizon=T --threads=K --out=path.json
+#include <algorithm>
 #include <iostream>
 
 #include "eotora/eotora.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eotora;
-  const std::size_t horizon = 24 * 14;
+  try {
+    const util::Args args(argc, argv,
+                          {"devices", "seed", "horizon", "threads", "out"});
+    sim::SweepSpec spec;
+    spec.name = "fig8_v_sweep";
+    spec.base.devices = static_cast<std::size_t>(args.get_int("devices", 100));
+    spec.base.budget_per_slot = 1.0;
+    spec.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+    spec.horizon = static_cast<std::size_t>(args.get_int("horizon", 24 * 14));
+    spec.window = std::min<std::size_t>(72, spec.horizon);
+    spec.axes = {{"v", {10.0, 50.0, 100.0, 150.0, 200.0, 500.0}}};
+    spec.policies = {"dpp-bdma"};
 
-  sim::ScenarioConfig config;
-  config.devices = 100;
-  config.budget_per_slot = 1.0;
-  config.seed = 2023;
-  sim::Scenario scenario(config);
-  const auto states = scenario.generate_states(horizon);
-
-  std::cout << "Fig. 8 reproduction: average queue backlog and latency of "
-               "BDMA-based DPP vs V (I = 100, z = 5)\n\n";
-
-  util::Table table({"V", "avg backlog (tail)", "avg latency (s)",
-                     "avg energy cost ($/slot)"});
-  for (double v : {10.0, 50.0, 100.0, 150.0, 200.0, 500.0}) {
-    core::DppConfig dpp;
-    dpp.v = v;
-    dpp.bdma.iterations = 5;
-    sim::DppPolicy policy(scenario.instance(), dpp);
-    const auto result = sim::run_policy(policy, states);
-    const auto tail = sim::tail_averages(result, 72);
-    table.add_numeric_row({v, tail.queue, result.metrics.average_latency(),
-                           result.metrics.average_energy_cost()},
-                          3);
+    std::cout << "Fig. 8 reproduction: average queue backlog and latency of "
+                 "BDMA-based DPP vs V (I = "
+              << spec.base.devices << ", z = 5)\n\n";
+    const auto result =
+        sim::run_sweep(spec, static_cast<std::size_t>(args.get_int("threads", 0)));
+    result.table().print(std::cout);
+    std::cout << "\nexpected shape: backlog increases (roughly linearly) with "
+                 "V; latency decreases toward its floor as V grows.\n";
+    if (args.has("out")) {
+      const std::string path = args.get("out", "");
+      result.write_json(path);
+      std::cout << "wrote " << path << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
   }
-  table.print(std::cout);
-  std::cout << "\nexpected shape: backlog increases (roughly linearly) with "
-               "V; latency decreases toward its floor as V grows.\n";
   return 0;
 }

@@ -1,72 +1,77 @@
 // Side-by-side comparison of every online policy in the library on the same
-// recorded state sequence — the paper's controller, its two weaker-inner-
-// solver variants, the myopic per-slot-budget baseline, and the two fixed-
-// frequency extremes.
+// scenario — the paper's controller, its two weaker-inner-solver variants,
+// the myopic per-slot-budget baseline, the two fixed-frequency extremes,
+// and the receding-horizon MPC planner.
 //
-// Also demonstrates the record/replay workflow: the state sequence is saved
-// to CSV and reloaded, proving a run can be reproduced from the file alone.
+// The policies are selected by registry name and executed by the sweep
+// runner (sim/runner.h), which also emits the machine-readable artifact
+// when --out is given. Also demonstrates the record/replay workflow: the
+// scenario's state sequence survives a CSV round trip bit-for-bit, so any
+// run here can be reproduced from the file alone.
 //
-//   $ ./examples/compare_policies
+//   $ ./examples/compare_policies [--devices=N] [--seed=S] [--horizon=T]
+//                                 [--threads=K] [--out=path.json]
 #include <cstdio>
 #include <iostream>
 
 #include "eotora/eotora.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eotora;
-
-  sim::ScenarioConfig config;
-  config.devices = 100;
-  config.budget_per_slot = 1.0;
-  config.seed = 4242;
-  sim::Scenario scenario(config);
-  sim::print_scenario(std::cout, scenario);
-
-  const std::size_t horizon = 24 * 10;
-  const auto generated = scenario.generate_states(horizon);
-
-  // Record + replay round trip: every policy below consumes the REPLAYED
-  // states, so the whole comparison is reproducible from the CSV alone.
-  const std::string trace_path = "/tmp/eotora_compare_trace.csv";
-  sim::save_states(trace_path, generated);
-  const auto states = sim::load_states(trace_path);
-  std::cout << "\nrecorded " << states.size() << " slots to " << trace_path
-            << " and replayed them\n\n";
-
-  const auto& instance = scenario.instance();
-  std::vector<sim::SimulationResult> results;
-
-  for (core::P2aSolverKind kind :
-       {core::P2aSolverKind::kCgba, core::P2aSolverKind::kMcba,
-        core::P2aSolverKind::kRopt}) {
-    core::DppConfig dpp;
-    dpp.v = 100.0;
+  try {
+    const util::Args args(argc, argv,
+                          {"devices", "seed", "horizon", "threads", "out"});
+    sim::SweepSpec spec;
+    spec.name = "compare_policies";
+    spec.base.devices = static_cast<std::size_t>(args.get_int("devices", 100));
+    spec.base.budget_per_slot = 1.0;
+    spec.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 4242));
+    spec.horizon = static_cast<std::size_t>(args.get_int("horizon", 24 * 10));
+    spec.window = spec.horizon;  // full-run averages
+    spec.policies = {"dpp-bdma",      "dpp-mcba",  "dpp-ropt", "greedy-budget",
+                     "fixed-max",     "fixed-min", "mpc"};
+    spec.params.v = 100.0;
     // Start the virtual queue near its converged level so the averages
     // below reflect steady state rather than the ramp-up transient.
-    dpp.initial_queue = 30.0;
-    dpp.bdma.iterations = 5;
-    dpp.bdma.solver = kind;
-    dpp.bdma.mcba.iterations = 3000;
-    sim::DppPolicy policy(instance, dpp);
-    results.push_back(sim::run_policy(policy, states));
+    spec.params.initial_queue = 30.0;
+    spec.params.bdma_iterations = 5;
+    spec.params.mcba_iterations = 3000;
+
+    sim::Scenario scenario(spec.base);
+    sim::print_scenario(std::cout, scenario);
+
+    // Record + replay round trip: the exact state sequence every cell below
+    // regenerates from the seed can also be frozen to CSV and reloaded, so
+    // the comparison is reproducible from the file alone.
+    const auto generated = scenario.generate_states(spec.horizon);
+    const std::string trace_path = "/tmp/eotora_compare_trace.csv";
+    sim::save_states(trace_path, generated);
+    const auto replayed = sim::load_states(trace_path);
+    std::cout << "\nrecorded " << replayed.size() << " slots to " << trace_path
+              << " and replayed them\n\n";
+
+    const auto result =
+        sim::run_sweep(spec, static_cast<std::size_t>(args.get_int("threads", 0)));
+    result.table().print(std::cout);
+
+    std::cout
+        << "\nreading the table:\n"
+        << "  - BDMA-based DPP should dominate: lowest latency among the\n"
+        << "    budget-respecting policies.\n"
+        << "  - Greedy spends the budget every slot, so it buys speed in\n"
+        << "    cheap hours it could have banked for expensive ones; MPC\n"
+        << "    plans from learned trends but overspends without feedback.\n"
+        << "  - Always-max is the latency floor but blows the budget;\n"
+        << "    always-min is the cost floor with the worst latency.\n";
+    if (args.has("out")) {
+      const std::string path = args.get("out", "");
+      result.write_json(path);
+      std::cout << "wrote " << path << "\n";
+    }
+    std::remove(trace_path.c_str());
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
   }
-  sim::GreedyBudgetPolicy greedy(instance);
-  results.push_back(sim::run_policy(greedy, states));
-  sim::FixedFrequencyPolicy always_max(instance, 1.0);
-  results.push_back(sim::run_policy(always_max, states));
-  sim::FixedFrequencyPolicy always_min(instance, 0.0);
-  results.push_back(sim::run_policy(always_min, states));
-
-  sim::print_comparison(std::cout, results, config.budget_per_slot);
-
-  std::cout
-      << "\nreading the table:\n"
-      << "  - BDMA-based DPP should dominate: lowest latency among the\n"
-      << "    budget-respecting policies.\n"
-      << "  - Greedy spends the budget every slot, so it buys speed in\n"
-      << "    cheap hours it could have banked for expensive ones.\n"
-      << "  - Always-max is the latency floor but blows the budget;\n"
-      << "    always-min is the cost floor with the worst latency.\n";
-  std::remove(trace_path.c_str());
   return 0;
 }

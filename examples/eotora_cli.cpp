@@ -19,7 +19,9 @@ void print_usage() {
       R"(eotora_cli - run an EOTORA policy on the paper scenario
 
 options (all --key=value):
-  --policy   bdma | mcba | ropt | greedy | mpc | fixed-max | fixed-min  [bdma]
+  --policy   any sim/registry name (dpp-bdma | dpp-mcba | dpp-ropt |
+             greedy-budget | fixed-frequency | fixed-max | fixed-min |
+             mpc), or the short aliases bdma | mcba | ropt | greedy  [bdma]
   --devices  number of mobile devices                             [100]
   --days     horizon in days (24 slots each)                      [7]
   --budget   energy budget in $ per slot                          [1.0]
@@ -69,36 +71,22 @@ int main(int argc, char** argv) {
                 << args.get("record", "") << "\n";
     }
 
-    const std::string policy_name = args.get("policy", "bdma");
+    // Policies come from the registry; the historical short names stay as
+    // aliases.
+    std::string policy_name = args.get("policy", "bdma");
+    if (policy_name == "bdma") policy_name = "dpp-bdma";
+    else if (policy_name == "mcba") policy_name = "dpp-mcba";
+    else if (policy_name == "ropt") policy_name = "dpp-ropt";
+    else if (policy_name == "greedy") policy_name = "greedy-budget";
+    sim::PolicyParams params;
+    params.v = args.get_double("v", 100.0);
+    params.initial_queue = args.get_double("q0", 0.0);
+    params.bdma_iterations = static_cast<std::size_t>(args.get_int("z", 5));
     std::unique_ptr<sim::Policy> policy;
-    core::DppConfig dpp;
-    dpp.v = args.get_double("v", 100.0);
-    dpp.initial_queue = args.get_double("q0", 0.0);
-    dpp.bdma.iterations =
-        static_cast<std::size_t>(args.get_int("z", 5));
-    if (policy_name == "bdma") {
-      policy = std::make_unique<sim::DppPolicy>(scenario.instance(), dpp);
-    } else if (policy_name == "mcba") {
-      dpp.bdma.solver = core::P2aSolverKind::kMcba;
-      policy = std::make_unique<sim::DppPolicy>(scenario.instance(), dpp);
-    } else if (policy_name == "ropt") {
-      dpp.bdma.solver = core::P2aSolverKind::kRopt;
-      policy = std::make_unique<sim::DppPolicy>(scenario.instance(), dpp);
-    } else if (policy_name == "greedy") {
-      policy = std::make_unique<sim::GreedyBudgetPolicy>(scenario.instance());
-    } else if (policy_name == "mpc") {
-      policy = std::make_unique<sim::MpcPolicy>(scenario.instance(),
-                                                sim::MpcConfig{});
-    } else if (policy_name == "fixed-max") {
-      policy =
-          std::make_unique<sim::FixedFrequencyPolicy>(scenario.instance(),
-                                                      1.0);
-    } else if (policy_name == "fixed-min") {
-      policy =
-          std::make_unique<sim::FixedFrequencyPolicy>(scenario.instance(),
-                                                      0.0);
-    } else {
-      std::cerr << "unknown --policy '" << policy_name << "'\n";
+    try {
+      policy = sim::make_policy(policy_name, scenario.instance(), params);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
       print_usage();
       return 2;
     }

@@ -1,18 +1,43 @@
 #!/usr/bin/env bash
 # Reproduce everything: build, run the full test suite, regenerate every
-# paper figure and every ablation, and collect the outputs under results/.
+# paper figure and every ablation, and collect the outputs.
+#
+# Human-readable tables land in results/<bench>.txt; the runner-based
+# benches additionally emit machine-readable JSON artifacts (schema
+# eotora-sweep-v1, see docs/ARCHITECTURE.md "Runner & artifacts") under
+# bench/out/ — those are the files perf-tracking diffs across commits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+if command -v ninja > /dev/null; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
-mkdir -p results
+# Benches ported onto sim::run_sweep: they take --out and write a JSON
+# artifact alongside the printed table.
+runner_benches="fig8_v_sweep fig9_budget_sweep scaling ablation_seeds"
+
+mkdir -p results bench/out
 for bench in build/bench/*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue
   name=$(basename "$bench")
   echo "== $name =="
-  "$bench" | tee "results/$name.txt"
+  case " $runner_benches " in
+    *" $name "*)
+      "$bench" --out="bench/out/$name.json" | tee "results/$name.txt"
+      ;;
+    *)
+      "$bench" | tee "results/$name.txt"
+      ;;
+  esac
 done
-echo "outputs written to results/"
+
+echo "== compare_policies (example) =="
+build/examples/compare_policies --out=bench/out/compare_policies.json \
+  | tee results/compare_policies.txt
+
+echo "tables written to results/, JSON artifacts to bench/out/"

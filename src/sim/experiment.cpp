@@ -1,9 +1,9 @@
 #include "sim/experiment.h"
 
 #include <cmath>
-#include <thread>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace eotora::sim {
 
@@ -66,19 +66,14 @@ ReplicationSummary replicate_parallel(const ScenarioConfig& base_config,
   EOTORA_REQUIRE(horizon > 0);
   EOTORA_REQUIRE(replications > 0);
   EOTORA_REQUIRE(threads >= 1);
+  // Replication r writes slot r; merge_results then folds the slots in
+  // replication order, so the summary is bit-identical to the serial loop
+  // no matter how the pool interleaved the work.
   std::vector<SimulationResult> results(replications);
-  const std::size_t workers = std::min(threads, replications);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      // Static striping: worker w handles replications w, w+workers, ...
-      for (std::size_t r = w; r < replications; r += workers) {
+  util::ThreadPool::shared().parallel_for_index(
+      replications, threads, [&](std::size_t r) {
         results[r] = run_replication(base_config, make_policy, horizon, r);
-      }
-    });
-  }
-  for (auto& worker : pool) worker.join();
+      });
   return merge_results(results);
 }
 

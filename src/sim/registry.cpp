@@ -1,0 +1,112 @@
+#include "sim/registry.h"
+
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace eotora::sim {
+
+namespace {
+
+using Builder = std::function<std::unique_ptr<Policy>(
+    const core::Instance&, const PolicyParams&)>;
+
+std::unique_ptr<Policy> make_dpp(core::P2aSolverKind kind,
+                                 const core::Instance& instance,
+                                 const PolicyParams& params) {
+  core::DppConfig config;
+  config.v = params.v;
+  config.initial_queue = params.initial_queue;
+  config.bdma.iterations = params.bdma_iterations;
+  config.bdma.solver = kind;
+  config.bdma.mcba.iterations = params.mcba_iterations;
+  return std::make_unique<DppPolicy>(instance, config);
+}
+
+std::unique_ptr<Policy> make_fixed(double fraction,
+                                   const core::Instance& instance) {
+  return std::make_unique<FixedFrequencyPolicy>(instance, fraction);
+}
+
+// std::map keeps registered_policies() sorted with no extra work.
+const std::map<std::string, Builder>& builders() {
+  static const std::map<std::string, Builder> registry = {
+      {"dpp-bdma",
+       [](const core::Instance& instance, const PolicyParams& params) {
+         return make_dpp(core::P2aSolverKind::kCgba, instance, params);
+       }},
+      {"dpp-mcba",
+       [](const core::Instance& instance, const PolicyParams& params) {
+         return make_dpp(core::P2aSolverKind::kMcba, instance, params);
+       }},
+      {"dpp-ropt",
+       [](const core::Instance& instance, const PolicyParams& params) {
+         return make_dpp(core::P2aSolverKind::kRopt, instance, params);
+       }},
+      {"greedy-budget",
+       [](const core::Instance& instance, const PolicyParams&) {
+         return std::make_unique<GreedyBudgetPolicy>(instance);
+       }},
+      {"fixed-frequency",
+       [](const core::Instance& instance, const PolicyParams& params) {
+         return make_fixed(params.fixed_fraction, instance);
+       }},
+      {"fixed-max",
+       [](const core::Instance& instance, const PolicyParams&) {
+         return make_fixed(1.0, instance);
+       }},
+      {"fixed-min",
+       [](const core::Instance& instance, const PolicyParams&) {
+         return make_fixed(0.0, instance);
+       }},
+      {"mpc",
+       [](const core::Instance& instance, const PolicyParams& params) {
+         return std::make_unique<MpcPolicy>(instance, params.mpc);
+       }},
+  };
+  return registry;
+}
+
+[[noreturn]] void throw_unknown_policy(const std::string& name) {
+  std::ostringstream message;
+  message << "unknown policy \"" << name << "\"; registered policies:";
+  for (const auto& known : registered_policies()) message << ' ' << known;
+  throw std::invalid_argument(message.str());
+}
+
+}  // namespace
+
+std::vector<std::string> registered_policies() {
+  std::vector<std::string> names;
+  names.reserve(builders().size());
+  for (const auto& [name, builder] : builders()) names.push_back(name);
+  return names;
+}
+
+bool is_registered_policy(const std::string& name) {
+  return builders().count(name) > 0;
+}
+
+std::unique_ptr<Policy> make_policy(const std::string& name,
+                                    const core::Instance& instance,
+                                    const PolicyParams& params) {
+  const auto it = builders().find(name);
+  if (it == builders().end()) throw_unknown_policy(name);
+  auto policy = it->second(instance, params);
+  EOTORA_ASSERT(policy != nullptr);
+  return policy;
+}
+
+PolicyFactory policy_factory(const std::string& name,
+                             const PolicyParams& params) {
+  // Resolve the name eagerly so a typo throws at sweep-construction time,
+  // not from inside a worker thread.
+  if (!is_registered_policy(name)) throw_unknown_policy(name);
+  return [name, params](const core::Instance& instance) {
+    return make_policy(name, instance, params);
+  };
+}
+
+}  // namespace eotora::sim

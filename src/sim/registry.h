@@ -1,0 +1,60 @@
+// String-keyed policy registry: every online policy in the library,
+// constructible by name.
+//
+// Benches, examples, and the sweep runner select policies declaratively
+// ("dpp-bdma", "greedy-budget", ...) instead of hand-wiring constructor
+// calls, so a new policy registered here is immediately sweepable from
+// every harness. The knobs a sweep commonly varies are collected in
+// PolicyParams; anything not covered there still has the plain policy
+// constructors.
+//
+// Registered names:
+//   dpp-bdma         DppPolicy, CGBA inner solver (the paper's controller)
+//   dpp-mcba         DppPolicy, MCBA inner solver ("MCBA-based DPP")
+//   dpp-ropt         DppPolicy, ROPT inner solver ("ROPT-based DPP")
+//   greedy-budget    GreedyBudgetPolicy (myopic per-slot budget)
+//   fixed-frequency  FixedFrequencyPolicy at params.fixed_fraction
+//   fixed-max        FixedFrequencyPolicy at fraction 1.0 (latency floor)
+//   fixed-min        FixedFrequencyPolicy at fraction 0.0 (cost floor)
+//   mpc              MpcPolicy (receding-horizon baseline), params.mpc
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "sim/experiment.h"
+#include "sim/mpc_policy.h"
+#include "sim/policy.h"
+
+namespace eotora::sim {
+
+// The constructor knobs a sweep varies. Defaults match the paper scenario
+// (V = 100, z = 5) with a cold virtual queue.
+struct PolicyParams {
+  double v = 100.0;                  // Lyapunov penalty weight
+  double initial_queue = 0.0;        // Q(1) warm start
+  std::size_t bdma_iterations = 5;   // the paper's z
+  std::size_t mcba_iterations = 3000;
+  double fixed_fraction = 1.0;       // for "fixed-frequency"
+  MpcConfig mpc;                     // for "mpc"
+};
+
+// Sorted names of every registered policy.
+[[nodiscard]] std::vector<std::string> registered_policies();
+
+[[nodiscard]] bool is_registered_policy(const std::string& name);
+
+// Builds a fresh policy bound to `instance`. Throws std::invalid_argument
+// for an unknown name, listing the registered ones.
+[[nodiscard]] std::unique_ptr<Policy> make_policy(
+    const std::string& name, const core::Instance& instance,
+    const PolicyParams& params = {});
+
+// The same construction packaged as a replication/sweep factory (safe to
+// call concurrently; every call builds an independent policy).
+[[nodiscard]] PolicyFactory policy_factory(const std::string& name,
+                                           const PolicyParams& params = {});
+
+}  // namespace eotora::sim

@@ -1,0 +1,156 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace eotora::util {
+
+namespace {
+
+// One parallel_for_index invocation: the shared index counter plus the
+// bookkeeping needed to (a) block the caller until every claimed index ran
+// and (b) surface the first exception.
+struct ForJob {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable finished;
+  std::exception_ptr error;  // first failure, guarded by `mutex`
+
+  // Claims indices until the space is drained. Returns the number of
+  // indices this participant accounted for.
+  void drain() {
+    std::size_t handled = 0;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      ++handled;
+    }
+    if (handled > 0) {
+      const std::size_t total =
+          done.fetch_add(handled, std::memory_order_acq_rel) + handled;
+      if (total == count) {
+        std::lock_guard<std::mutex> lock(mutex);
+        finished.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::deque<ForJob*> queue;  // each entry = one worker seat for a job
+  bool stopping = false;
+
+  void worker_loop() {
+    for (;;) {
+      ForJob* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty()) return;
+        job = queue.front();
+        queue.pop_front();
+      }
+      job->drain();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  EOTORA_REQUIRE(threads >= 1);
+  impl_->workers.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::size() const { return impl_->workers.size(); }
+
+void ThreadPool::parallel_for_index(
+    std::size_t count, std::size_t max_workers,
+    const std::function<void(std::size_t)>& body) {
+  EOTORA_REQUIRE(max_workers >= 1);
+  if (count == 0) return;
+
+  ForJob job;
+  job.body = &body;
+  job.count = count;
+
+  // The caller is one participant; enqueue seats for up to (workers - 1)
+  // pool threads. A seat is a queue entry pointing at the job — idle workers
+  // each take one and drain the shared index space until it is empty.
+  const std::size_t participants =
+      std::min({max_workers, size() + 1, count});
+  const std::size_t seats = participants - 1;
+  if (seats > 0) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      for (std::size_t s = 0; s < seats; ++s) impl_->queue.push_back(&job);
+    }
+    impl_->wake.notify_all();
+  }
+
+  job.drain();
+
+  if (seats > 0) {
+    // Remove any seats no worker picked up (the caller drained the index
+    // space first), then wait for every claimed index to finish.
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      auto& q = impl_->queue;
+      for (auto it = q.begin(); it != q.end();) {
+        it = (*it == &job) ? q.erase(it) : std::next(it);
+      }
+    }
+    std::unique_lock<std::mutex> lock(job.mutex);
+    job.finished.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == job.count;
+    });
+  }
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::parallel_for_index(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  parallel_for_index(count, size(), body);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace eotora::util

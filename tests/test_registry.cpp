@@ -1,0 +1,115 @@
+#include "sim/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace eotora::sim {
+namespace {
+
+ScenarioConfig tiny() {
+  ScenarioConfig config;
+  config.devices = 6;
+  config.mid_band_stations = 1;
+  config.low_band_stations = 1;
+  config.clusters = 1;
+  config.servers_per_cluster = 2;
+  config.seed = 100;
+  return config;
+}
+
+PolicyParams fast_params() {
+  PolicyParams params;
+  params.bdma_iterations = 1;
+  params.mcba_iterations = 50;
+  return params;
+}
+
+TEST(Registry, ListsTheExpectedNames) {
+  const auto names = registered_policies();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected :
+       {"dpp-bdma", "dpp-mcba", "dpp-ropt", "greedy-budget",
+        "fixed-frequency", "fixed-max", "fixed-min", "mpc"}) {
+    EXPECT_TRUE(is_registered_policy(expected)) << expected;
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Registry, EveryRegisteredNameBuildsAWorkingPolicy) {
+  Scenario scenario(tiny());
+  const auto states = scenario.generate_states(3);
+  for (const auto& name : registered_policies()) {
+    auto policy = make_policy(name, scenario.instance(), fast_params());
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_FALSE(policy->name().empty()) << name;
+    // The policy actually decides slots: positive latency, finite cost.
+    const auto result = run_policy(*policy, states, 7);
+    EXPECT_EQ(result.metrics.slots(), 3u) << name;
+    EXPECT_GT(result.metrics.average_latency(), 0.0) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrowsListingKnownOnes) {
+  Scenario scenario(tiny());
+  try {
+    (void)make_policy("no-such-policy", scenario.instance());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(message.find("dpp-bdma"), std::string::npos);
+  }
+  EXPECT_THROW((void)policy_factory("also-unknown"), std::invalid_argument);
+}
+
+TEST(Registry, ParamsReachTheConstructedPolicy) {
+  Scenario scenario(tiny());
+  PolicyParams params = fast_params();
+  params.v = 77.0;
+  params.initial_queue = 12.5;
+  auto policy = make_policy("dpp-bdma", scenario.instance(), params);
+  auto* dpp = dynamic_cast<DppPolicy*>(policy.get());
+  ASSERT_NE(dpp, nullptr);
+  EXPECT_DOUBLE_EQ(dpp->queue(), 12.5);
+
+  params.fixed_fraction = 0.25;
+  auto fixed =
+      make_policy("fixed-frequency", scenario.instance(), params);
+  EXPECT_NE(fixed->name().find("0.25"), std::string::npos)
+      << fixed->name();
+}
+
+TEST(Registry, SolverKindSelectsDistinctPolicies) {
+  Scenario scenario(tiny());
+  const auto bdma =
+      make_policy("dpp-bdma", scenario.instance(), fast_params());
+  const auto mcba =
+      make_policy("dpp-mcba", scenario.instance(), fast_params());
+  const auto ropt =
+      make_policy("dpp-ropt", scenario.instance(), fast_params());
+  EXPECT_NE(bdma->name(), mcba->name());
+  EXPECT_NE(bdma->name(), ropt->name());
+  EXPECT_NE(mcba->name(), ropt->name());
+}
+
+TEST(Registry, FactoryMatchesDirectConstruction) {
+  Scenario scenario(tiny());
+  const auto states = scenario.generate_states(4);
+  const auto factory = policy_factory("dpp-bdma", fast_params());
+  auto from_factory = factory(scenario.instance());
+  auto direct = make_policy("dpp-bdma", scenario.instance(), fast_params());
+  const auto a = run_policy(*from_factory, states, 3);
+  const auto b = run_policy(*direct, states, 3);
+  EXPECT_DOUBLE_EQ(a.metrics.average_latency(), b.metrics.average_latency());
+  EXPECT_DOUBLE_EQ(a.metrics.average_energy_cost(),
+                   b.metrics.average_energy_cost());
+}
+
+}  // namespace
+}  // namespace eotora::sim

@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace eotora::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t count = 1000;
+  std::vector<std::atomic<int>> hits(count);
+  pool.parallel_for_index(count, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ResultsByIndexAreOrderIndependent) {
+  ThreadPool pool(3);
+  std::vector<std::size_t> out(257);
+  pool.parallel_for_index(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, MaxWorkersOneIsSerialInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(16);
+  pool.parallel_for_index(ran.size(), 1, [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for_index(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_index(4, 0, [](std::size_t) {}),
+               std::invalid_argument);
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for_index(64, [&](std::size_t i) {
+      if (i == 13) throw std::runtime_error("boom");
+      ++completed;
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom");
+  }
+  // Every other index still ran (the pool drains the index space).
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for_index(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  std::atomic<std::size_t> sum{0};
+  a.parallel_for_index(10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, MoreWorkersRequestedThanPoolHasIsClamped) {
+  ThreadPool pool(2);
+  std::vector<int> out(33, 0);
+  pool.parallel_for_index(out.size(), 64, [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 33);
+}
+
+}  // namespace
+}  // namespace eotora::util
