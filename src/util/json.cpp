@@ -409,7 +409,12 @@ class Parser {
       }
       return pos_ > before;
     };
+    const std::size_t int_start = pos_;
     require(digits(), "invalid number");
+    // JSON forbids leading zeros in the integer part: "0" is fine, "0123"
+    // is not (RFC 8259 int = zero / digit1-9 *DIGIT).
+    require(pos_ - int_start == 1 || text_[int_start] != '0',
+            "leading zeros are not allowed");
     if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
       require(digits(), "digits required after decimal point");

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,13 @@ class Json {
   Json(unsigned long long value) : Json(static_cast<double>(value)) {}
   Json(const char* value) : type_(Type::kString), string_(value) {}
   Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  // Any pointer that is not a C string would otherwise silently convert to
+  // bool and store `true`; reject those at compile time.
+  template <typename T,
+            std::enable_if_t<std::is_pointer_v<T> &&
+                                 !std::is_convertible_v<T, const char*>,
+                             int> = 0>
+  Json(T) = delete;
 
   [[nodiscard]] static Json array() { return Json(Type::kArray); }
   [[nodiscard]] static Json object() { return Json(Type::kObject); }

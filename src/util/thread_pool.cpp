@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -16,21 +17,30 @@ namespace eotora::util {
 namespace {
 
 // One parallel_for_index invocation: the shared index counter plus the
-// bookkeeping needed to (a) block the caller until every claimed index ran
-// and (b) surface the first exception.
+// bookkeeping needed to (a) block the caller until every pool worker that
+// could touch the job has let go of it and (b) surface the first exception.
+//
+// Lifetime protocol: the job lives on the caller's stack, so the caller may
+// only destroy it once no worker will touch it again. Each queue seat is
+// counted in `seats_outstanding`; a worker that claimed a seat decrements it
+// under `mutex` *after* its drain() returns, and the caller subtracts the
+// seats it erased unclaimed from the queue. The caller's wait predicate is
+// `seats_outstanding == 0`, which it can only observe after the last worker
+// released `mutex` — at which point that worker no longer touches the job.
+// All indices are then done too: every index is claimed and executed inside
+// some participant's drain(), and every participant (caller included) has
+// returned from drain() by then.
 struct ForJob {
   const std::function<void(std::size_t)>* body = nullptr;
   std::size_t count = 0;
   std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
   std::mutex mutex;
   std::condition_variable finished;
-  std::exception_ptr error;  // first failure, guarded by `mutex`
+  std::size_t seats_outstanding = 0;  // guarded by `mutex`
+  std::exception_ptr error;           // first failure, guarded by `mutex`
 
-  // Claims indices until the space is drained. Returns the number of
-  // indices this participant accounted for.
+  // Claims indices until the space is drained.
   void drain() {
-    std::size_t handled = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
@@ -40,16 +50,17 @@ struct ForJob {
         std::lock_guard<std::mutex> lock(mutex);
         if (!error) error = std::current_exception();
       }
-      ++handled;
     }
-    if (handled > 0) {
-      const std::size_t total =
-          done.fetch_add(handled, std::memory_order_acq_rel) + handled;
-      if (total == count) {
-        std::lock_guard<std::mutex> lock(mutex);
-        finished.notify_all();
-      }
-    }
+  }
+
+  // Called by a pool worker after drain(); must be its last touch of the
+  // job. Notifying under the lock is deliberate: the waiter cannot pass its
+  // predicate (and destroy this mutex + condition variable) until the lock
+  // is released, and after releasing it the worker never uses the job again.
+  void release_seat() {
+    std::lock_guard<std::mutex> lock(mutex);
+    --seats_outstanding;
+    finished.notify_all();
   }
 };
 
@@ -73,11 +84,12 @@ struct ThreadPool::Impl {
         queue.pop_front();
       }
       job->drain();
+      job->release_seat();
     }
   }
 };
 
-ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
   EOTORA_REQUIRE(threads >= 1);
   impl_->workers.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -92,7 +104,6 @@ ThreadPool::~ThreadPool() {
   }
   impl_->wake.notify_all();
   for (auto& worker : impl_->workers) worker.join();
-  delete impl_;
 }
 
 std::size_t ThreadPool::size() const { return impl_->workers.size(); }
@@ -114,6 +125,7 @@ void ThreadPool::parallel_for_index(
       std::min({max_workers, size() + 1, count});
   const std::size_t seats = participants - 1;
   if (seats > 0) {
+    job.seats_outstanding = seats;  // published before the seats are visible
     {
       std::lock_guard<std::mutex> lock(impl_->mutex);
       for (std::size_t s = 0; s < seats; ++s) impl_->queue.push_back(&job);
@@ -125,18 +137,25 @@ void ThreadPool::parallel_for_index(
 
   if (seats > 0) {
     // Remove any seats no worker picked up (the caller drained the index
-    // space first), then wait for every claimed index to finish.
+    // space first). Seats already popped from the queue belong to workers
+    // that will call release_seat(); once `seats_outstanding` hits zero no
+    // worker can touch the job again, so it is safe to return and destroy it.
+    std::size_t erased = 0;
     {
       std::lock_guard<std::mutex> lock(impl_->mutex);
       auto& q = impl_->queue;
       for (auto it = q.begin(); it != q.end();) {
-        it = (*it == &job) ? q.erase(it) : std::next(it);
+        if (*it == &job) {
+          it = q.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
       }
     }
     std::unique_lock<std::mutex> lock(job.mutex);
-    job.finished.wait(lock, [&] {
-      return job.done.load(std::memory_order_acquire) == job.count;
-    });
+    job.seats_outstanding -= erased;
+    job.finished.wait(lock, [&] { return job.seats_outstanding == 0; });
   }
 
   if (job.error) std::rethrow_exception(job.error);

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 
 namespace eotora::util {
 
@@ -47,7 +48,9 @@ class ThreadPool {
 
  private:
   struct Impl;
-  Impl* impl_;
+  // unique_ptr (with Impl complete in the .cpp) so Impl is released even
+  // when the constructor throws, e.g. on the threads >= 1 precondition.
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace eotora::util

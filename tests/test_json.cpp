@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <type_traits>
 
 namespace eotora::util {
 namespace {
@@ -114,6 +115,29 @@ TEST(Json, ParserRejectsMalformedInput) {
         "01a", "-", "[1,2,]", "{\"a\" 1}"}) {
     EXPECT_THROW((void)Json::parse(bad), std::invalid_argument) << bad;
   }
+}
+
+TEST(Json, ParserRejectsLeadingZeros) {
+  // RFC 8259: a multi-digit integer part must not start with '0'.
+  for (const char* bad : {"0123", "-012", "00", "[01]", "{\"a\":007}"}) {
+    EXPECT_THROW((void)Json::parse(bad), std::invalid_argument) << bad;
+  }
+  EXPECT_EQ(Json::parse("0").as_number(), 0.0);
+  EXPECT_EQ(Json::parse("-0.5").as_number(), -0.5);
+  EXPECT_EQ(Json::parse("10").as_number(), 10.0);
+  EXPECT_EQ(Json::parse("0e3").as_number(), 0.0);
+  EXPECT_EQ(Json::parse("0.125").as_number(), 0.125);
+}
+
+TEST(Json, NonStringPointersDoNotConstruct) {
+  // Guards against `doc["x"] = some_ptr` compiling via the bool constructor
+  // and silently storing `true`.
+  static_assert(!std::is_constructible_v<Json, int*>);
+  static_assert(!std::is_constructible_v<Json, void*>);
+  static_assert(!std::is_constructible_v<Json, const double*>);
+  static_assert(std::is_constructible_v<Json, const char*>);
+  static_assert(std::is_constructible_v<Json, char*>);
+  static_assert(std::is_constructible_v<Json, bool>);
 }
 
 TEST(Json, ParserAcceptsWhitespaceAndNesting) {

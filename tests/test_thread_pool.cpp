@@ -78,6 +78,22 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
+TEST(ThreadPool, StressTinyJobsDoNotRaceJobLifetime) {
+  // Regression for a use-after-free: the caller could pass the completion
+  // wait and destroy the stack-allocated job while a worker still held a
+  // reference to it (after popping a seat it had not yet drained, or between
+  // publishing the final done-count and notifying). Tiny index spaces make
+  // the caller usually drain everything itself while seats are still in
+  // flight, which is exactly that window; run under TSan/ASan to be sure.
+  ThreadPool pool(4);
+  for (int round = 0; round < 3000; ++round) {
+    std::atomic<std::size_t> sum{0};
+    const std::size_t count = 1 + static_cast<std::size_t>(round % 4);
+    pool.parallel_for_index(count, [&](std::size_t i) { sum += i + 1; });
+    EXPECT_EQ(sum.load(), count * (count + 1) / 2) << round;
+  }
+}
+
 TEST(ThreadPool, SharedPoolIsAProcessSingleton) {
   ThreadPool& a = ThreadPool::shared();
   ThreadPool& b = ThreadPool::shared();
