@@ -48,6 +48,19 @@ void BM_WcgConstruction(benchmark::State& bench) {
 }
 BENCHMARK(BM_WcgConstruction);
 
+// rebuild() reuses the arena/offset/index capacity construction pays for
+// every call — compare against BM_WcgConstruction.
+void BM_WcgRebuild(benchmark::State& bench) {
+  auto& f = fixture();
+  const auto& instance = f.scenario->instance();
+  core::WcgProblem problem(instance, f.state, instance.max_frequencies());
+  for (auto _ : bench) {
+    problem.rebuild(instance, f.state, instance.max_frequencies());
+    benchmark::DoNotOptimize(problem.num_resources());
+  }
+}
+BENCHMARK(BM_WcgRebuild);
+
 void BM_TotalCost(benchmark::State& bench) {
   auto& f = fixture();
   for (auto _ : bench) {
@@ -109,6 +122,78 @@ void BM_CgbaSolve(benchmark::State& bench) {
   }
 }
 BENCHMARK(BM_CgbaSolve);
+
+// Cached BestResponseEngine vs the retained naive full-rescan oracle, same
+// warm start, both selection rules. The pairs produce bit-identical
+// SolveResults (tests/test_wcg_incremental.cpp); only the time differs.
+void cgba_selection_bench(benchmark::State& bench,
+                          core::CgbaSelection selection, bool naive) {
+  auto& f = fixture();
+  core::CgbaConfig config;
+  config.selection = selection;
+  config.naive_scan = naive;
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(core::cgba_from(*f.problem, config, f.profile));
+  }
+}
+void BM_CgbaMaxGapCached(benchmark::State& bench) {
+  cgba_selection_bench(bench, core::CgbaSelection::kMaxGap, false);
+}
+BENCHMARK(BM_CgbaMaxGapCached);
+void BM_CgbaMaxGapNaive(benchmark::State& bench) {
+  cgba_selection_bench(bench, core::CgbaSelection::kMaxGap, true);
+}
+BENCHMARK(BM_CgbaMaxGapNaive);
+void BM_CgbaRoundRobinCached(benchmark::State& bench) {
+  cgba_selection_bench(bench, core::CgbaSelection::kRoundRobin, false);
+}
+BENCHMARK(BM_CgbaRoundRobinCached);
+void BM_CgbaRoundRobinNaive(benchmark::State& bench) {
+  cgba_selection_bench(bench, core::CgbaSelection::kRoundRobin, true);
+}
+BENCHMARK(BM_CgbaRoundRobinNaive);
+
+// MCBA with the O(1) delta_cost accept test vs the O(num_resources)
+// total_cost_if_moved oracle.
+void mcba_bench(benchmark::State& bench, bool naive) {
+  auto& f = fixture();
+  core::McbaConfig config;
+  config.iterations = 20000;
+  config.naive_scan = naive;
+  for (auto _ : bench) {
+    util::Rng rng(4);
+    benchmark::DoNotOptimize(core::mcba(*f.problem, config, rng));
+  }
+}
+void BM_McbaFast(benchmark::State& bench) { mcba_bench(bench, false); }
+BENCHMARK(BM_McbaFast);
+void BM_McbaNaive(benchmark::State& bench) { mcba_bench(bench, true); }
+BENCHMARK(BM_McbaNaive);
+
+// The raw per-proposal evaluators behind the MCBA pair.
+void BM_DeltaCost(benchmark::State& bench) {
+  auto& f = fixture();
+  core::LoadTracker tracker(*f.problem, f.profile);
+  util::Rng rng(5);
+  for (auto _ : bench) {
+    const std::size_t device = rng.index(f.problem->num_devices());
+    const std::size_t option = rng.index(f.problem->options(device).size());
+    benchmark::DoNotOptimize(tracker.delta_cost(device, option));
+  }
+}
+BENCHMARK(BM_DeltaCost);
+
+void BM_TotalCostIfMoved(benchmark::State& bench) {
+  auto& f = fixture();
+  core::LoadTracker tracker(*f.problem, f.profile);
+  util::Rng rng(5);
+  for (auto _ : bench) {
+    const std::size_t device = rng.index(f.problem->num_devices());
+    const std::size_t option = rng.index(f.problem->options(device).size());
+    benchmark::DoNotOptimize(tracker.total_cost_if_moved(device, option));
+  }
+}
+BENCHMARK(BM_TotalCostIfMoved);
 
 void BM_BdmaSlot(benchmark::State& bench) {
   auto& f = fixture();

@@ -11,20 +11,30 @@ namespace eotora::core {
 
 BdmaResult bdma(const Instance& instance, const SlotState& state, double v,
                 double q, const BdmaConfig& config, util::Rng& rng) {
+  BdmaWorkspace workspace;
+  return bdma(instance, state, v, q, config, rng, workspace);
+}
+
+BdmaResult bdma(const Instance& instance, const SlotState& state, double v,
+                double q, const BdmaConfig& config, util::Rng& rng,
+                BdmaWorkspace& workspace) {
   EOTORA_REQUIRE(config.iterations >= 1);
   EOTORA_REQUIRE_MSG(v >= 0.0, "V=" << v);
   EOTORA_REQUIRE_MSG(q >= 0.0, "Q=" << q);
 
   // Line 1 of Algorithm 2: Ω starts at the lowest feasible frequencies.
   Frequencies omega = instance.min_frequencies();
-  WcgProblem problem(instance, state, omega);
+  WcgProblem& problem = workspace.problem;
+  problem.rebuild(instance, state, omega);
 
   BdmaResult best;
   best.objective = std::numeric_limits<double>::infinity();
 
   SolveResult previous;  // warm start for iterations > 1
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
-    problem.set_frequencies(instance, omega);
+    // rebuild() above already installed Ω^L; only re-derive the compute
+    // weights once P2-B has produced new frequencies.
+    if (iter > 0) problem.set_frequencies(instance, omega);
     // Line 3: solve P2-A at the current Ω.
     SolveResult p2a;
     switch (config.solver) {

@@ -16,6 +16,7 @@
 #include "core/mcba.h"
 #include "core/p2b.h"
 #include "core/solve_result.h"
+#include "core/wcg.h"
 #include "util/rng.h"
 
 namespace eotora::core {
@@ -42,10 +43,23 @@ struct BdmaResult {
   std::vector<double> objective_history;
 };
 
+// Reusable per-slot scratch state. bdma() rebuilds the workspace problem in
+// place (WcgProblem::rebuild), so a caller that keeps one workspace across
+// the simulation horizon pays no per-slot arena/index reallocation. Not
+// thread-safe: use one workspace per concurrent caller.
+struct BdmaWorkspace {
+  WcgProblem problem;
+};
+
 // Solves P2 at one slot. `v` is the DPP weight V, `q` the current queue
 // backlog Q(t).
 [[nodiscard]] BdmaResult bdma(const Instance& instance, const SlotState& state,
                               double v, double q, const BdmaConfig& config,
                               util::Rng& rng);
+
+// As above, reusing `workspace` allocations across calls.
+[[nodiscard]] BdmaResult bdma(const Instance& instance, const SlotState& state,
+                              double v, double q, const BdmaConfig& config,
+                              util::Rng& rng, BdmaWorkspace& workspace);
 
 }  // namespace eotora::core

@@ -1,24 +1,26 @@
 #include "core/cgba.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace eotora::core {
 
-SolveResult cgba(const WcgProblem& problem, const CgbaConfig& config,
-                 util::Rng& rng) {
-  return cgba_from(problem, config, problem.random_profile(rng));
-}
+namespace {
 
-SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
-                      Profile initial) {
-  EOTORA_REQUIRE_MSG(config.lambda >= 0.0 && config.lambda < 0.125,
-                     "lambda=" << config.lambda);
-  EOTORA_REQUIRE(config.max_moves > 0);
-  LoadTracker tracker(problem, std::move(initial));
-
+// The best-response dynamics shared by the cached (BestResponseEngine) and
+// naive (full LoadTracker rescan) paths. Both paths feed it best responses
+// with identical bits — the engine's cache invariant guarantees
+// engine.best_response(i) == tracker.best_response(i) bitwise — so the two
+// modes take identical move sequences and land on identical profiles and
+// costs. `best_response(i)` must return LoadTracker::BestResponse; `move(i,
+// o)` must apply the move to the tracker (and, in cached mode, invalidate).
+template <typename BestResponseFn, typename MoveFn>
+SolveResult run_cgba(const CgbaConfig& config, LoadTracker& tracker,
+                     std::size_t devices, BestResponseFn&& best_response,
+                     MoveFn&& move) {
   SolveResult result;
   result.converged = false;
-  const std::size_t devices = problem.num_devices();
 
   if (config.selection == CgbaSelection::kRoundRobin) {
     // Sweep players in index order until one full pass makes no move.
@@ -26,12 +28,11 @@ SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
     while (any_moved && result.iterations < config.max_moves) {
       any_moved = false;
       for (std::size_t i = 0; i < devices; ++i) {
-        const double current = tracker.player_cost(i);
-        const LoadTracker::BestResponse br = tracker.best_response(i);
-        const double threshold =
-            (1.0 - config.lambda) * current - config.rel_epsilon * current;
+        const LoadTracker::BestResponse br = best_response(i);
+        const double threshold = (1.0 - config.lambda) * br.current_cost -
+                                 config.rel_epsilon * br.current_cost;
         if (br.cost < threshold) {
-          tracker.move(i, br.option_index);
+          move(i, br.option_index);
           ++result.iterations;
           any_moved = true;
           if (result.iterations >= config.max_moves) break;
@@ -50,14 +51,13 @@ SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
     std::size_t best_option = 0;
     double best_gap = 0.0;
     for (std::size_t i = 0; i < devices; ++i) {
-      const double current = tracker.player_cost(i);
-      const LoadTracker::BestResponse br = tracker.best_response(i);
+      const LoadTracker::BestResponse br = best_response(i);
       // Termination test (line 2): move only when
       // (1 - λ) * T_i  >  min_z T_i, with a relative floor against FP noise.
-      const double threshold =
-          (1.0 - config.lambda) * current - config.rel_epsilon * current;
+      const double threshold = (1.0 - config.lambda) * br.current_cost -
+                               config.rel_epsilon * br.current_cost;
       if (br.cost >= threshold) continue;
-      const double gap = current - br.cost;
+      const double gap = br.current_cost - br.cost;
       if (gap > best_gap) {
         best_gap = gap;
         best_device = i;
@@ -68,7 +68,7 @@ SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
       result.converged = true;
       break;
     }
-    tracker.move(best_device, best_option);
+    move(best_device, best_option);
     ++result.iterations;
   }
   // If the cap was hit without reaching equilibrium we still return the best
@@ -76,6 +76,34 @@ SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
   result.profile = tracker.profile();
   result.cost = tracker.total_cost();
   return result;
+}
+
+}  // namespace
+
+SolveResult cgba(const WcgProblem& problem, const CgbaConfig& config,
+                 util::Rng& rng) {
+  return cgba_from(problem, config, problem.random_profile(rng));
+}
+
+SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
+                      Profile initial) {
+  EOTORA_REQUIRE_MSG(config.lambda >= 0.0 && config.lambda < 0.125,
+                     "lambda=" << config.lambda);
+  EOTORA_REQUIRE(config.max_moves > 0);
+  LoadTracker tracker(problem, std::move(initial));
+  const std::size_t devices = problem.num_devices();
+
+  if (config.naive_scan) {
+    return run_cgba(
+        config, tracker, devices,
+        [&](std::size_t i) { return tracker.best_response(i); },
+        [&](std::size_t i, std::size_t o) { tracker.move(i, o); });
+  }
+  BestResponseEngine engine(tracker);
+  return run_cgba(
+      config, tracker, devices,
+      [&](std::size_t i) { return engine.best_response(i); },
+      [&](std::size_t i, std::size_t o) { engine.move(i, o); });
 }
 
 }  // namespace eotora::core

@@ -34,6 +34,13 @@ struct CgbaConfig {
   // Absolute floor that protects λ = 0 from floating-point livelock: a move
   // must improve the player's cost by more than rel_epsilon * player_cost.
   double rel_epsilon = 1e-12;
+  // Correctness oracle: rescan every player's best response from the
+  // LoadTracker on every move instead of using the incremental
+  // BestResponseEngine cache. Both paths produce bit-identical move
+  // sequences, profiles, and costs (tests/test_wcg_incremental.cpp); the
+  // naive path exists only as the reference the fast path is checked
+  // against and for the micro-benchmark baseline.
+  bool naive_scan = false;
 };
 
 // Runs CGBA from a uniformly random initial profile.

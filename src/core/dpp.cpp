@@ -18,7 +18,7 @@ DppSlotResult DppController::step(const SlotState& state, util::Rng& rng) {
   result.queue_before = queue_;
 
   const BdmaResult solution =
-      bdma(*instance_, state, config_.v, queue_, config_.bdma, rng);
+      bdma(*instance_, state, config_.v, queue_, config_.bdma, rng, workspace_);
 
   result.decision.assignment = solution.assignment;
   result.decision.frequencies = solution.frequencies;

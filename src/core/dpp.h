@@ -50,6 +50,9 @@ class DppController {
   const Instance* instance_;
   DppConfig config_;
   double queue_;
+  // Per-slot BDMA scratch, reused across step() calls so the WCG option
+  // arena and inverted index are rebuilt in place instead of reallocated.
+  BdmaWorkspace workspace_;
 };
 
 }  // namespace eotora::core

@@ -34,21 +34,28 @@ SolveResult mcba(const WcgProblem& problem, const McbaConfig& config,
     const std::size_t option = rng.index(problem.options(device).size());
     const std::size_t previous = tracker.profile()[device];
     if (option != previous) {
-      tracker.move(device, option);
-      const double proposed_cost = tracker.total_cost();
-      const double delta = proposed_cost - current_cost;
+      // Evaluate before moving: the fast path gets Δ from the O(1)
+      // per-resource delta, the oracle from a full sweep that reproduces
+      // { move(); total_cost(); } bit-for-bit. Rejecting is then free — no
+      // undo, so a rejected proposal leaves every tracked load's bits
+      // untouched.
+      const double delta =
+          config.naive_scan
+              ? tracker.total_cost_if_moved(device, option) - current_cost
+              : tracker.delta_cost(device, option);
       const bool accept =
           delta <= 0.0 ||
           (temperature > 0.0 && rng.uniform(0.0, 1.0) <
                                     std::exp(-delta / temperature));
       if (accept) {
-        current_cost = proposed_cost;
+        tracker.move(device, option);
+        // Re-derive the running cost from the tracked loads rather than
+        // accumulating deltas, so both paths carry identical cost bits.
+        current_cost = tracker.total_cost();
         if (current_cost < best.cost) {
           best.cost = current_cost;
           best.profile = tracker.profile();
         }
-      } else {
-        tracker.move(device, previous);  // reject: undo
       }
     }
     temperature *= cooling;

@@ -19,6 +19,11 @@ struct McbaConfig {
   // cooling reaches `final_temperature_fraction` at the last iteration.
   double initial_temperature_fraction = 0.1;
   double final_temperature_fraction = 1e-4;
+  // Correctness oracle: evaluate each proposal with the O(num_resources)
+  // LoadTracker::total_cost_if_moved sweep instead of the O(1)
+  // delta_cost. Kept as the reference the fast path is checked against
+  // (tests/test_wcg_incremental.cpp) and for the micro-benchmark baseline.
+  bool naive_scan = false;
 };
 
 // Runs the chain from a random profile and returns the best profile visited.

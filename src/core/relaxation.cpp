@@ -10,9 +10,10 @@ namespace eotora::core {
 namespace {
 
 // Accumulates option weights into per-resource loads.
-std::vector<double> loads_of(const WcgProblem& problem,
-                             const std::vector<std::vector<double>>& w) {
-  std::vector<double> loads(problem.num_resources(), 0.0);
+void loads_of(const WcgProblem& problem,
+              const std::vector<std::vector<double>>& w,
+              std::vector<double>& loads) {
+  loads.assign(problem.num_resources(), 0.0);
   for (std::size_t i = 0; i < w.size(); ++i) {
     const auto& options = problem.options(i);
     for (std::size_t o = 0; o < options.size(); ++o) {
@@ -22,7 +23,6 @@ std::vector<double> loads_of(const WcgProblem& problem,
       loads[opt.r_fronthaul] += w[i][o] * opt.p_fronthaul;
     }
   }
-  return loads;
 }
 
 double value_of(const WcgProblem& problem, const std::vector<double>& loads) {
@@ -49,9 +49,15 @@ RelaxationResult fractional_lower_bound(const WcgProblem& problem,
                              1.0 / problem.options(i).size());
   }
 
-  std::vector<double> loads = loads_of(problem, result.weights);
+  std::vector<double> loads;
+  loads_of(problem, result.weights, loads);
   double value = value_of(problem, loads);
   result.lower_bound = 0.0;
+
+  // Frank-Wolfe scratch reused across iterations.
+  std::vector<std::size_t> vertex(devices, 0);
+  std::vector<std::vector<double>> vw(devices);
+  std::vector<double> vertex_loads;
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     ++result.iterations;
@@ -59,7 +65,7 @@ RelaxationResult fractional_lower_bound(const WcgProblem& problem,
     // vertex v picks each device's minimum-gradient option; the gap is
     // <∇, w - v> = Σ_i (Σ_o w_{i,o} grad_{i,o} - min_o grad_{i,o}).
     double gap = 0.0;
-    std::vector<std::size_t> vertex(devices, 0);
+    std::fill(vertex.begin(), vertex.end(), 0);
     for (std::size_t i = 0; i < devices; ++i) {
       const auto& options = problem.options(i);
       double weighted = 0.0;
@@ -88,12 +94,11 @@ RelaxationResult fractional_lower_bound(const WcgProblem& problem,
     // Direction d = v - w in load space; exact line search on the quadratic
     // f(w + γ d) = f(w) + γ <∇, d_loads-part> ... easier in load space:
     // loads(γ) = (1-γ) loads + γ vertex_loads.
-    std::vector<std::vector<double>> vw(devices);
     for (std::size_t i = 0; i < devices; ++i) {
       vw[i].assign(problem.options(i).size(), 0.0);
       vw[i][vertex[i]] = 1.0;
     }
-    const std::vector<double> vertex_loads = loads_of(problem, vw);
+    loads_of(problem, vw, vertex_loads);
     // f(γ) = Σ m_r ((1-γ)P_r + γ V_r)² — quadratic aγ² + bγ + c.
     double a = 0.0;
     double b = 0.0;

@@ -22,6 +22,11 @@ std::size_t fronthaul_index(std::size_t n_servers, std::size_t n_bs,
 
 WcgProblem::WcgProblem(const Instance& instance, const SlotState& state,
                        const Frequencies& frequencies) {
+  rebuild(instance, state, frequencies);
+}
+
+void WcgProblem::rebuild(const Instance& instance, const SlotState& state,
+                         const Frequencies& frequencies) {
   const auto& topo = instance.topology();
   num_servers_ = topo.num_servers();
   num_base_stations_ = topo.num_base_stations();
@@ -50,7 +55,10 @@ WcgProblem::WcgProblem(const Instance& instance, const SlotState& state,
         1.0 / bs.fronthaul_bandwidth_hz;
   }
 
-  options_.resize(devices);
+  arena_.clear();
+  offsets_.clear();
+  offsets_.reserve(devices + 1);
+  offsets_.push_back(0);
   for (std::size_t i = 0; i < devices; ++i) {
     for (std::size_t k = 0; k < num_base_stations_; ++k) {
       const double h = state.channel[i][k];
@@ -72,20 +80,65 @@ WcgProblem::WcgProblem(const Instance& instance, const SlotState& state,
                                   instance.suitability(i, s.value));
         opt.p_access = p_access;
         opt.p_fronthaul = p_fronthaul;
-        options_[i].push_back(opt);
+        arena_.push_back(opt);
       }
     }
-    EOTORA_REQUIRE_MSG(!options_[i].empty(),
+    EOTORA_REQUIRE_MSG(arena_.size() > offsets_.back(),
                        "device " << i
                                  << " has no feasible (base station, server) "
                                     "option at slot "
                                  << state.slot);
+    offsets_.push_back(arena_.size());
   }
+
+  device_of_.resize(arena_.size());
+  for (std::size_t i = 0; i < devices; ++i) {
+    for (std::size_t a = offsets_[i]; a < offsets_[i + 1]; ++a) {
+      device_of_[a] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Inverted index (CSR): count per resource, prefix-sum, fill using the
+  // offsets themselves as cursors, then shift the offsets back down.
+  const std::size_t resources = weights_.size();
+  index_offsets_.assign(resources + 1, 0);
+  for (const Option& opt : arena_) {
+    ++index_offsets_[opt.r_compute + 1];
+    ++index_offsets_[opt.r_access + 1];
+    ++index_offsets_[opt.r_fronthaul + 1];
+  }
+  for (std::size_t r = 0; r < resources; ++r) {
+    index_offsets_[r + 1] += index_offsets_[r];
+  }
+  index_entries_.resize(3 * arena_.size());
+  for (std::size_t a = 0; a < arena_.size(); ++a) {
+    const Option& opt = arena_[a];
+    index_entries_[index_offsets_[opt.r_compute]++] =
+        static_cast<std::uint32_t>(a);
+    index_entries_[index_offsets_[opt.r_access]++] =
+        static_cast<std::uint32_t>(a);
+    index_entries_[index_offsets_[opt.r_fronthaul]++] =
+        static_cast<std::uint32_t>(a);
+  }
+  // Each cursor now sits at the end of its bucket, i.e. the start of the
+  // next one; shift back so index_offsets_[r] is the start of bucket r.
+  for (std::size_t r = resources; r > 0; --r) {
+    index_offsets_[r] = index_offsets_[r - 1];
+  }
+  index_offsets_[0] = 0;
 }
 
-const std::vector<Option>& WcgProblem::options(std::size_t device) const {
-  EOTORA_REQUIRE(device < options_.size());
-  return options_[device];
+std::span<const Option> WcgProblem::options(std::size_t device) const {
+  EOTORA_REQUIRE(device + 1 < offsets_.size());
+  return {arena_.data() + offsets_[device],
+          offsets_[device + 1] - offsets_[device]};
+}
+
+std::span<const std::uint32_t> WcgProblem::options_on_resource(
+    std::size_t resource) const {
+  EOTORA_REQUIRE(resource + 1 < index_offsets_.size());
+  return {index_entries_.data() + index_offsets_[resource],
+          index_offsets_[resource + 1] - index_offsets_[resource]};
 }
 
 double WcgProblem::weight(std::size_t resource) const {
@@ -107,82 +160,105 @@ void WcgProblem::set_frequencies(const Instance& instance,
 }
 
 Profile WcgProblem::random_profile(util::Rng& rng) const {
-  Profile z(options_.size(), 0);
+  Profile z(num_devices(), 0);
   for (std::size_t i = 0; i < z.size(); ++i) {
-    z[i] = rng.index(options_[i].size());
+    z[i] = rng.index(offsets_[i + 1] - offsets_[i]);
   }
   return z;
 }
 
-std::vector<double> WcgProblem::loads(const Profile& z) const {
-  EOTORA_REQUIRE(z.size() == options_.size());
-  std::vector<double> p(weights_.size(), 0.0);
+void WcgProblem::loads_into(const Profile& z, std::vector<double>& p) const {
+  EOTORA_REQUIRE(z.size() == num_devices());
+  p.assign(weights_.size(), 0.0);
   for (std::size_t i = 0; i < z.size(); ++i) {
-    EOTORA_REQUIRE(z[i] < options_[i].size());
-    const Option& opt = options_[i][z[i]];
+    EOTORA_REQUIRE(z[i] < offsets_[i + 1] - offsets_[i]);
+    const Option& opt = arena_[offsets_[i] + z[i]];
     p[opt.r_compute] += opt.p_compute;
     p[opt.r_access] += opt.p_access;
     p[opt.r_fronthaul] += opt.p_fronthaul;
   }
-  return p;
 }
 
 double WcgProblem::total_cost(const Profile& z) const {
-  const auto p = loads(z);
+  std::vector<double> scratch;
+  return total_cost(z, scratch);
+}
+
+double WcgProblem::total_cost(const Profile& z,
+                              std::vector<double>& scratch) const {
+  loads_into(z, scratch);
   double cost = 0.0;
-  for (std::size_t r = 0; r < p.size(); ++r) {
-    cost += weights_[r] * p[r] * p[r];
+  for (std::size_t r = 0; r < scratch.size(); ++r) {
+    cost += weights_[r] * scratch[r] * scratch[r];
   }
   return cost;
 }
 
 double WcgProblem::player_cost(const Profile& z, std::size_t device) const {
-  EOTORA_REQUIRE(device < options_.size());
-  const auto p = loads(z);
-  const Option& opt = options_[device][z[device]];
-  return weights_[opt.r_compute] * opt.p_compute * p[opt.r_compute] +
-         weights_[opt.r_access] * opt.p_access * p[opt.r_access] +
-         weights_[opt.r_fronthaul] * opt.p_fronthaul * p[opt.r_fronthaul];
+  std::vector<double> scratch;
+  return player_cost(z, device, scratch);
+}
+
+double WcgProblem::player_cost(const Profile& z, std::size_t device,
+                               std::vector<double>& scratch) const {
+  EOTORA_REQUIRE(device < num_devices());
+  loads_into(z, scratch);
+  const Option& opt = arena_[offsets_[device] + z[device]];
+  return weights_[opt.r_compute] * opt.p_compute * scratch[opt.r_compute] +
+         weights_[opt.r_access] * opt.p_access * scratch[opt.r_access] +
+         weights_[opt.r_fronthaul] * opt.p_fronthaul *
+             scratch[opt.r_fronthaul];
 }
 
 double WcgProblem::potential(const Profile& z) const {
-  const auto p = loads(z);
-  std::vector<double> squares(weights_.size(), 0.0);
+  std::vector<double> loads_scratch;
+  std::vector<double> squares_scratch;
+  return potential(z, loads_scratch, squares_scratch);
+}
+
+double WcgProblem::potential(const Profile& z,
+                             std::vector<double>& loads_scratch,
+                             std::vector<double>& squares_scratch) const {
+  loads_into(z, loads_scratch);
+  squares_scratch.assign(weights_.size(), 0.0);
   for (std::size_t i = 0; i < z.size(); ++i) {
-    const Option& opt = options_[i][z[i]];
-    squares[opt.r_compute] += opt.p_compute * opt.p_compute;
-    squares[opt.r_access] += opt.p_access * opt.p_access;
-    squares[opt.r_fronthaul] += opt.p_fronthaul * opt.p_fronthaul;
+    const Option& opt = arena_[offsets_[i] + z[i]];
+    squares_scratch[opt.r_compute] += opt.p_compute * opt.p_compute;
+    squares_scratch[opt.r_access] += opt.p_access * opt.p_access;
+    squares_scratch[opt.r_fronthaul] += opt.p_fronthaul * opt.p_fronthaul;
   }
   double phi = 0.0;
   for (std::size_t r = 0; r < weights_.size(); ++r) {
-    phi += 0.5 * weights_[r] * (p[r] * p[r] + squares[r]);
+    phi += 0.5 * weights_[r] *
+           (loads_scratch[r] * loads_scratch[r] + squares_scratch[r]);
   }
   return phi;
 }
 
 Assignment WcgProblem::to_assignment(const Profile& z) const {
-  EOTORA_REQUIRE(z.size() == options_.size());
+  EOTORA_REQUIRE(z.size() == num_devices());
   Assignment a;
   a.bs_of.resize(z.size());
   a.server_of.resize(z.size());
   for (std::size_t i = 0; i < z.size(); ++i) {
-    EOTORA_REQUIRE(z[i] < options_[i].size());
-    a.bs_of[i] = options_[i][z[i]].bs;
-    a.server_of[i] = options_[i][z[i]].server;
+    EOTORA_REQUIRE(z[i] < offsets_[i + 1] - offsets_[i]);
+    const Option& opt = arena_[offsets_[i] + z[i]];
+    a.bs_of[i] = opt.bs;
+    a.server_of[i] = opt.server;
   }
   return a;
 }
 
 Profile WcgProblem::to_profile(const Assignment& assignment) const {
-  EOTORA_REQUIRE(assignment.bs_of.size() == options_.size());
-  EOTORA_REQUIRE(assignment.server_of.size() == options_.size());
-  Profile z(options_.size(), 0);
+  EOTORA_REQUIRE(assignment.bs_of.size() == num_devices());
+  EOTORA_REQUIRE(assignment.server_of.size() == num_devices());
+  Profile z(num_devices(), 0);
   for (std::size_t i = 0; i < z.size(); ++i) {
+    const std::span<const Option> opts = options(i);
     bool found = false;
-    for (std::size_t o = 0; o < options_[i].size(); ++o) {
-      if (options_[i][o].bs == assignment.bs_of[i] &&
-          options_[i][o].server == assignment.server_of[i]) {
+    for (std::size_t o = 0; o < opts.size(); ++o) {
+      if (opts[o].bs == assignment.bs_of[i] &&
+          opts[o].server == assignment.server_of[i]) {
         z[i] = o;
         found = true;
         break;
@@ -198,9 +274,9 @@ Profile WcgProblem::to_profile(const Assignment& assignment) const {
 
 double WcgProblem::singleton_lower_bound() const {
   double bound = 0.0;
-  for (const auto& opts : options_) {
+  for (std::size_t i = 0; i < num_devices(); ++i) {
     double best = std::numeric_limits<double>::infinity();
-    for (const Option& opt : opts) {
+    for (const Option& opt : options(i)) {
       const double own =
           weights_[opt.r_compute] * opt.p_compute * opt.p_compute +
           weights_[opt.r_access] * opt.p_access * opt.p_access +
@@ -254,8 +330,9 @@ double LoadTracker::player_cost(std::size_t device) const {
 
 double LoadTracker::cost_if_moved(std::size_t device,
                                   std::size_t option_index) const {
-  const Option& cur = problem_->options(device)[profile_[device]];
-  const Option& alt = problem_->options(device)[option_index];
+  const std::span<const Option> opts = problem_->options(device);
+  const Option& cur = opts[profile_[device]];
+  const Option& alt = opts[option_index];
   // Load on each of alt's resources excluding the device itself, then add
   // the device back. The current option's contribution must be subtracted
   // only where the resources coincide.
@@ -277,10 +354,90 @@ double LoadTracker::cost_if_moved(std::size_t device,
              (l_fronthaul + alt.p_fronthaul);
 }
 
+double LoadTracker::delta_cost(std::size_t device,
+                               std::size_t option_index) const {
+  const std::span<const Option> opts = problem_->options(device);
+  if (option_index == profile_[device]) return 0.0;
+  const Option& cur = opts[profile_[device]];
+  const Option& alt = opts[option_index];
+  // Only the changed resources contribute:
+  //   leaving r:  m_r ((P_r - p)² - P_r²) = m_r (p - 2 P_r) p
+  //   joining r:  m_r ((P_r + p)² - P_r²) = m_r (2 P_r + p) p
+  // Shared categories (same server / same base station) cancel exactly and
+  // are skipped, matching move()'s update rule.
+  double delta = 0.0;
+  auto leave = [&](std::size_t r, double p) {
+    delta += problem_->weight(r) * (p - 2.0 * loads_[r]) * p;
+  };
+  auto join = [&](std::size_t r, double p) {
+    delta += problem_->weight(r) * (2.0 * loads_[r] + p) * p;
+  };
+  if (cur.r_compute != alt.r_compute) {
+    leave(cur.r_compute, cur.p_compute);
+    join(alt.r_compute, alt.p_compute);
+  }
+  if (cur.r_access != alt.r_access) {
+    leave(cur.r_access, cur.p_access);
+    join(alt.r_access, alt.p_access);
+  }
+  if (cur.r_fronthaul != alt.r_fronthaul) {
+    leave(cur.r_fronthaul, cur.p_fronthaul);
+    join(alt.r_fronthaul, alt.p_fronthaul);
+  }
+  return delta;
+}
+
+double LoadTracker::total_cost_if_moved(std::size_t device,
+                                        std::size_t option_index) const {
+  const std::span<const Option> opts = problem_->options(device);
+  const Option& cur = opts[profile_[device]];
+  const Option& alt = opts[option_index];
+  // Adjusted loads on the at most six changed resources. Each changed
+  // resource takes exactly one subtract or add — the same single operation
+  // move() would apply — so the summation below reproduces the bits of
+  // { move(); total_cost(); } without mutating the tracker.
+  std::size_t changed_r[6];
+  double changed_load[6];
+  std::size_t m = 0;
+  if (option_index != profile_[device]) {
+    if (cur.r_compute != alt.r_compute) {
+      changed_r[m] = cur.r_compute;
+      changed_load[m++] = loads_[cur.r_compute] - cur.p_compute;
+      changed_r[m] = alt.r_compute;
+      changed_load[m++] = loads_[alt.r_compute] + alt.p_compute;
+    }
+    if (cur.r_access != alt.r_access) {
+      changed_r[m] = cur.r_access;
+      changed_load[m++] = loads_[cur.r_access] - cur.p_access;
+      changed_r[m] = alt.r_access;
+      changed_load[m++] = loads_[alt.r_access] + alt.p_access;
+    }
+    if (cur.r_fronthaul != alt.r_fronthaul) {
+      changed_r[m] = cur.r_fronthaul;
+      changed_load[m++] = loads_[cur.r_fronthaul] - cur.p_fronthaul;
+      changed_r[m] = alt.r_fronthaul;
+      changed_load[m++] = loads_[alt.r_fronthaul] + alt.p_fronthaul;
+    }
+  }
+  double cost = 0.0;
+  for (std::size_t r = 0; r < loads_.size(); ++r) {
+    double load = loads_[r];
+    for (std::size_t t = 0; t < m; ++t) {
+      if (changed_r[t] == r) {
+        load = changed_load[t];
+        break;
+      }
+    }
+    cost += problem_->weight(r) * load * load;
+  }
+  return cost;
+}
+
 LoadTracker::BestResponse LoadTracker::best_response(
     std::size_t device) const {
-  const auto& opts = problem_->options(device);
-  BestResponse best{profile_[device], player_cost(device)};
+  const std::span<const Option> opts = problem_->options(device);
+  const double current = player_cost(device);
+  BestResponse best{profile_[device], current, current};
   for (std::size_t o = 0; o < opts.size(); ++o) {
     if (o == profile_[device]) continue;
     const double c = cost_if_moved(device, o);
@@ -294,11 +451,34 @@ LoadTracker::BestResponse LoadTracker::best_response(
 
 void LoadTracker::move(std::size_t device, std::size_t option_index) {
   EOTORA_REQUIRE(device < profile_.size());
-  EOTORA_REQUIRE(option_index < problem_->options(device).size());
+  const std::span<const Option> opts = problem_->options(device);
+  EOTORA_REQUIRE(option_index < opts.size());
   if (option_index == profile_[device]) return;
-  add_device(device, problem_->options(device)[profile_[device]], -1.0);
+  const Option& cur = opts[profile_[device]];
+  const Option& nxt = opts[option_index];
+  // Per-category update with coincidence skip: within one device's options,
+  // equal resource index implies equal p (p depends only on the device plus
+  // the base station or server), so shared categories cancel exactly and
+  // skipping them keeps those loads' bits untouched.
+  if (cur.r_compute != nxt.r_compute) {
+    loads_[cur.r_compute] -= cur.p_compute;
+    load_squares_[cur.r_compute] -= cur.p_compute * cur.p_compute;
+    loads_[nxt.r_compute] += nxt.p_compute;
+    load_squares_[nxt.r_compute] += nxt.p_compute * nxt.p_compute;
+  }
+  if (cur.r_access != nxt.r_access) {
+    loads_[cur.r_access] -= cur.p_access;
+    load_squares_[cur.r_access] -= cur.p_access * cur.p_access;
+    loads_[nxt.r_access] += nxt.p_access;
+    load_squares_[nxt.r_access] += nxt.p_access * nxt.p_access;
+  }
+  if (cur.r_fronthaul != nxt.r_fronthaul) {
+    loads_[cur.r_fronthaul] -= cur.p_fronthaul;
+    load_squares_[cur.r_fronthaul] -= cur.p_fronthaul * cur.p_fronthaul;
+    loads_[nxt.r_fronthaul] += nxt.p_fronthaul;
+    load_squares_[nxt.r_fronthaul] += nxt.p_fronthaul * nxt.p_fronthaul;
+  }
   profile_[device] = option_index;
-  add_device(device, problem_->options(device)[option_index], +1.0);
 }
 
 double LoadTracker::potential() const {
@@ -308,6 +488,227 @@ double LoadTracker::potential() const {
            (loads_[r] * loads_[r] + load_squares_[r]);
   }
   return phi;
+}
+
+BestResponseEngine::BestResponseEngine(LoadTracker& tracker)
+    : problem_(tracker.problem_),
+      tracker_(&tracker),
+      num_servers_(problem_->num_servers()),
+      num_base_stations_(problem_->num_base_stations()) {
+  const std::size_t devices = problem_->num_devices();
+  const std::size_t entries = problem_->num_options();
+  cached_.resize(devices);
+  server_of_entry_.resize(entries);
+
+  // (device, base station) groups: the arena enumerates options base
+  // station-major within each device, so each group is a contiguous run of
+  // equal r_access and shares one access and one fronthaul term.
+  groups_.clear();
+  device_group_begin_.assign(devices + 1, 0);
+  for (std::size_t j = 0; j < devices; ++j) {
+    device_group_begin_[j] = static_cast<std::uint32_t>(groups_.size());
+    const std::size_t lo = problem_->arena_offset(j);
+    const std::size_t hi = problem_->arena_offset(j + 1);
+    std::size_t a = lo;
+    while (a < hi) {
+      std::size_t b = a + 1;
+      while (b < hi &&
+             problem_->option_at(b).r_access == problem_->option_at(a).r_access) {
+        ++b;
+      }
+      groups_.push_back({static_cast<std::uint32_t>(a),
+                         static_cast<std::uint32_t>(b),
+                         static_cast<std::uint32_t>(j),
+                         static_cast<std::uint32_t>(problem_->option_at(a).bs)});
+      a = b;
+    }
+  }
+  device_group_begin_[devices] = static_cast<std::uint32_t>(groups_.size());
+
+  // Per-pair p and fl(w·p) tables. fl(w·p) is rounded first exactly as in
+  // cost_if_moved's weight·p·(load+p), so the cached terms reproduce its
+  // bits. Frequencies (and so weights) are fixed for the engine's lifetime:
+  // BDMA constructs a fresh engine per inner CGBA call.
+  pc_.assign(devices * num_servers_, 0.0);
+  wpc_.assign(devices * num_servers_, 0.0);
+  tc_.assign(devices * num_servers_, 0.0);
+  pa_.assign(devices * num_base_stations_, 0.0);
+  wpa_.assign(devices * num_base_stations_, 0.0);
+  ta_.assign(devices * num_base_stations_, 0.0);
+  pf_.assign(devices * num_base_stations_, 0.0);
+  wpf_.assign(devices * num_base_stations_, 0.0);
+  tf_.assign(devices * num_base_stations_, 0.0);
+  for (std::size_t a = 0; a < entries; ++a) {
+    const Option& opt = problem_->option_at(a);
+    const std::size_t j = problem_->device_of(a);
+    server_of_entry_[a] = static_cast<std::uint32_t>(opt.server);
+    pc_[j * num_servers_ + opt.server] = opt.p_compute;
+    wpc_[j * num_servers_ + opt.server] =
+        problem_->weight(opt.r_compute) * opt.p_compute;
+    pa_[j * num_base_stations_ + opt.bs] = opt.p_access;
+    wpa_[j * num_base_stations_ + opt.bs] =
+        problem_->weight(opt.r_access) * opt.p_access;
+    pf_[j * num_base_stations_ + opt.bs] = opt.p_fronthaul;
+    wpf_[j * num_base_stations_ + opt.bs] =
+        problem_->weight(opt.r_fronthaul) * opt.p_fronthaul;
+  }
+
+  cur_server_.resize(devices);
+  cur_bs_.resize(devices);
+  for (std::size_t j = 0; j < devices; ++j) {
+    const Option& cur = problem_->options(j)[tracker_->profile()[j]];
+    cur_server_[j] = static_cast<std::uint32_t>(cur.server);
+    cur_bs_[j] = static_cast<std::uint32_t>(cur.bs);
+  }
+  for (std::size_t a = 0; a < entries; ++a) {
+    const Option& opt = problem_->option_at(a);
+    const std::size_t j = problem_->device_of(a);
+    refresh_compute_term(j, opt.server);
+    refresh_access_term(j, opt.bs);
+    refresh_fronthaul_term(j, opt.bs);
+  }
+
+  // CSR sweep sets: the distinct devices with an option on each server (from
+  // the option-level inverted index, deduplicating its device-major runs)
+  // and on each base station (one group per device-BS pair).
+  server_device_offsets_.assign(num_servers_ + 1, 0);
+  server_device_entries_.clear();
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    std::size_t last = devices;  // sentinel: no device yet
+    for (const std::uint32_t a : problem_->options_on_resource(s)) {
+      const std::size_t j = problem_->device_of(a);
+      if (j == last) continue;
+      last = j;
+      server_device_entries_.push_back(static_cast<std::uint32_t>(j));
+    }
+    server_device_offsets_[s + 1] =
+        static_cast<std::uint32_t>(server_device_entries_.size());
+  }
+  bs_device_offsets_.assign(num_base_stations_ + 1, 0);
+  for (const Group& grp : groups_) {
+    ++bs_device_offsets_[grp.bs + 1];
+  }
+  for (std::size_t k = 0; k < num_base_stations_; ++k) {
+    bs_device_offsets_[k + 1] += bs_device_offsets_[k];
+  }
+  bs_device_entries_.resize(groups_.size());
+  for (const Group& grp : groups_) {
+    bs_device_entries_[bs_device_offsets_[grp.bs]++] = grp.device;
+  }
+  for (std::size_t k = num_base_stations_; k > 0; --k) {
+    bs_device_offsets_[k] = bs_device_offsets_[k - 1];
+  }
+  bs_device_offsets_[0] = 0;
+}
+
+void BestResponseEngine::refresh_compute_term(std::size_t device,
+                                              std::size_t server) {
+  const std::size_t i = device * num_servers_ + server;
+  const double p = pc_[i];
+  const double l =
+      tracker_->loads_[server] - (cur_server_[device] == server ? p : 0.0);
+  tc_[i] = wpc_[i] * (l + p);
+}
+
+void BestResponseEngine::refresh_access_term(std::size_t device,
+                                             std::size_t bs) {
+  const std::size_t i = device * num_base_stations_ + bs;
+  const double p = pa_[i];
+  const double l = tracker_->loads_[num_servers_ + bs] -
+                   (cur_bs_[device] == bs ? p : 0.0);
+  ta_[i] = wpa_[i] * (l + p);
+}
+
+void BestResponseEngine::refresh_fronthaul_term(std::size_t device,
+                                                std::size_t bs) {
+  const std::size_t i = device * num_base_stations_ + bs;
+  const double p = pf_[i];
+  const double l = tracker_->loads_[num_servers_ + num_base_stations_ + bs] -
+                   (cur_bs_[device] == bs ? p : 0.0);
+  tf_[i] = wpf_[i] * (l + p);
+}
+
+const LoadTracker::BestResponse& BestResponseEngine::best_response(
+    std::size_t device) {
+  const std::size_t base = problem_->arena_offset(device);
+  const std::size_t cur = tracker_->profile()[device];
+  // Mirror LoadTracker::best_response exactly: same initial champion, same
+  // scan order, same strict-< tie handling. Each candidate cost is the same
+  // left-associated (t_compute + t_access) + t_fronthaul sum cost_if_moved
+  // computes, assembled from the cached terms — identical bits, two
+  // additions instead of the full nine-flop evaluation.
+  const double current = tracker_->player_cost(device);
+  LoadTracker::BestResponse best{cur, current, current};
+  const double* tcj = tc_.data() + device * num_servers_;
+  for (std::uint32_t g = device_group_begin_[device];
+       g < device_group_begin_[device + 1]; ++g) {
+    const Group& grp = groups_[g];
+    const double a_term = ta_[device * num_base_stations_ + grp.bs];
+    const double f_term = tf_[device * num_base_stations_ + grp.bs];
+    for (std::uint32_t a = grp.begin; a < grp.end; ++a) {
+      const std::size_t o = a - base;
+      if (o == cur) continue;
+      const double c = (tcj[server_of_entry_[a]] + a_term) + f_term;
+      if (c < best.cost) {
+        best.cost = c;
+        best.option_index = o;
+      }
+    }
+  }
+  cached_[device] = best;
+  return cached_[device];
+}
+
+void BestResponseEngine::move(std::size_t device, std::size_t option_index) {
+  const std::span<const Option> opts = problem_->options(device);
+  if (option_index == tracker_->profile()[device]) return;
+  const Option& cur = opts[tracker_->profile()[device]];
+  const Option& nxt = opts[option_index];
+  // The at most six resources whose loads change, mirroring the tracker's
+  // coincidence skip: a category shared by the old and new option keeps its
+  // load bits AND its exclusion relevance, so its terms stay valid.
+  std::size_t changed[6];
+  std::size_t m = 0;
+  if (cur.r_compute != nxt.r_compute) {
+    changed[m++] = cur.r_compute;
+    changed[m++] = nxt.r_compute;
+  }
+  if (cur.r_access != nxt.r_access) {
+    changed[m++] = cur.r_access;
+    changed[m++] = nxt.r_access;
+  }
+  if (cur.r_fronthaul != nxt.r_fronthaul) {
+    changed[m++] = cur.r_fronthaul;
+    changed[m++] = nxt.r_fronthaul;
+  }
+
+  tracker_->move(device, option_index);
+  // New exclusion context first: the mover sits in the sweep sets of every
+  // changed resource, so the sweeps below rebuild its own terms against its
+  // new current option along with everyone else's.
+  cur_server_[device] = static_cast<std::uint32_t>(nxt.server);
+  cur_bs_[device] = static_cast<std::uint32_t>(nxt.bs);
+  for (std::size_t t = 0; t < m; ++t) {
+    const std::size_t r = changed[t];
+    if (r < num_servers_) {
+      for (std::size_t e = server_device_offsets_[r];
+           e < server_device_offsets_[r + 1]; ++e) {
+        refresh_compute_term(server_device_entries_[e], r);
+      }
+    } else if (r < num_servers_ + num_base_stations_) {
+      const std::size_t k = r - num_servers_;
+      for (std::size_t e = bs_device_offsets_[k]; e < bs_device_offsets_[k + 1];
+           ++e) {
+        refresh_access_term(bs_device_entries_[e], k);
+      }
+    } else {
+      const std::size_t k = r - num_servers_ - num_base_stations_;
+      for (std::size_t e = bs_device_offsets_[k]; e < bs_device_offsets_[k + 1];
+           ++e) {
+        refresh_fronthaul_term(bs_device_entries_[e], k);
+      }
+    }
+  }
 }
 
 }  // namespace eotora::core

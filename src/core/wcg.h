@@ -20,9 +20,18 @@
 //   Φ(z) = ½ Σ_r m_r (P_r(z)² + Σ_{i∈I_r} p_{i,r}²),
 // i.e. ΔΦ equals the mover's cost change for every unilateral deviation —
 // this is what makes CGBA's best-response dynamics terminate.
+//
+// Hot-path layout (see docs/ARCHITECTURE.md "The WCG hot path"): options live
+// in one contiguous arena with per-device offset spans, a resource→option
+// inverted index is derived at rebuild() time, and BestResponseEngine caches
+// the per-(device, resource) cost terms option costs factor into, re-deriving
+// only the terms a move's changed loads invalidate — every best response it
+// returns is bit-identical to a from-scratch LoadTracker evaluation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/instance.h"
@@ -49,34 +58,79 @@ using Profile = std::vector<std::size_t>;
 
 class WcgProblem {
  public:
+  // An empty problem; rebuild() must run before anything else is called.
+  WcgProblem() = default;
+
   // Builds option lists and resource weights from the instance, the current
   // slot state, and the current frequencies. Throws std::invalid_argument if
   // any device has no feasible option (no covering BS with a usable channel).
   WcgProblem(const Instance& instance, const SlotState& state,
              const Frequencies& frequencies);
 
-  [[nodiscard]] std::size_t num_devices() const { return options_.size(); }
+  // Re-derives everything for a new slot, reusing the existing allocations
+  // (option arena, offset table, weights, inverted index). Equivalent to
+  // constructing a fresh problem, without the per-slot heap churn — policies
+  // and BDMA reuse one problem across the whole simulation horizon.
+  void rebuild(const Instance& instance, const SlotState& state,
+               const Frequencies& frequencies);
+
+  [[nodiscard]] std::size_t num_devices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
   [[nodiscard]] std::size_t num_resources() const { return weights_.size(); }
-  [[nodiscard]] const std::vector<Option>& options(std::size_t device) const;
+  [[nodiscard]] std::size_t num_servers() const { return num_servers_; }
+  [[nodiscard]] std::size_t num_base_stations() const {
+    return num_base_stations_;
+  }
+  [[nodiscard]] std::span<const Option> options(std::size_t device) const;
   [[nodiscard]] double weight(std::size_t resource) const;
 
+  // Flat-arena views used by the incremental engine: options of device i
+  // occupy arena indices [arena_offset(i), arena_offset(i+1)).
+  [[nodiscard]] std::size_t num_options() const { return arena_.size(); }
+  [[nodiscard]] std::size_t arena_offset(std::size_t device) const {
+    return offsets_[device];
+  }
+  [[nodiscard]] const Option& option_at(std::size_t arena_index) const {
+    return arena_[arena_index];
+  }
+  [[nodiscard]] std::size_t device_of(std::size_t arena_index) const {
+    return device_of_[arena_index];
+  }
+  // Arena indices of every option touching `resource` (each option touches
+  // exactly three distinct resources, so no per-option deduplication is
+  // needed). Rebuilt with the arena; frequency updates never invalidate it.
+  [[nodiscard]] std::span<const std::uint32_t> options_on_resource(
+      std::size_t resource) const;
+
   // Re-derives the compute-resource weights for new frequencies; option
-  // lists and p-values are frequency-independent and stay valid.
+  // lists, p-values, and the inverted index are frequency-independent and
+  // stay valid.
   void set_frequencies(const Instance& instance,
                        const Frequencies& frequencies);
 
   // Uniform random feasible profile.
   [[nodiscard]] Profile random_profile(util::Rng& rng) const;
 
-  // Social cost T_t(z) = Σ_r m_r P_r(z)² — evaluates from scratch.
+  // Social cost T_t(z) = Σ_r m_r P_r(z)² — evaluates from scratch. The
+  // scratch overload reuses `scratch` for the per-resource loads so loops
+  // stay allocation-free.
   [[nodiscard]] double total_cost(const Profile& z) const;
+  [[nodiscard]] double total_cost(const Profile& z,
+                                  std::vector<double>& scratch) const;
 
   // Player i's cost T_i(z) — evaluates from scratch (solvers use LoadTracker
   // for incremental evaluation).
   [[nodiscard]] double player_cost(const Profile& z, std::size_t device) const;
+  [[nodiscard]] double player_cost(const Profile& z, std::size_t device,
+                                   std::vector<double>& scratch) const;
 
-  // Exact potential Φ(z).
+  // Exact potential Φ(z). The scratch overload needs two buffers: loads and
+  // own-weight squares.
   [[nodiscard]] double potential(const Profile& z) const;
+  [[nodiscard]] double potential(const Profile& z,
+                                 std::vector<double>& loads_scratch,
+                                 std::vector<double>& squares_scratch) const;
 
   // Decodes a profile into the (x, y) Assignment.
   [[nodiscard]] Assignment to_assignment(const Profile& z) const;
@@ -92,10 +146,15 @@ class WcgProblem {
   [[nodiscard]] double singleton_lower_bound() const;
 
  private:
-  [[nodiscard]] std::vector<double> loads(const Profile& z) const;
+  void loads_into(const Profile& z, std::vector<double>& p) const;
 
-  std::vector<std::vector<Option>> options_;  // per device
-  std::vector<double> weights_;               // m_r
+  std::vector<Option> arena_;          // all options, device-major
+  std::vector<std::size_t> offsets_;   // num_devices + 1 spans into arena_
+  std::vector<std::uint32_t> device_of_;  // arena index -> owning device
+  std::vector<double> weights_;        // m_r
+  // resource -> arena indices of options touching it (CSR layout).
+  std::vector<std::size_t> index_offsets_;  // num_resources + 1
+  std::vector<std::uint32_t> index_entries_;
   std::size_t num_servers_ = 0;
   std::size_t num_base_stations_ = 0;
 };
@@ -111,6 +170,13 @@ class LoadTracker {
   [[nodiscard]] const Profile& profile() const { return profile_; }
   [[nodiscard]] double total_cost() const;
 
+  // Tracked per-resource loads P_r and own-weight squares Σ p² — exposed so
+  // tests can compare the incremental state against a from-scratch oracle.
+  [[nodiscard]] std::span<const double> loads() const { return loads_; }
+  [[nodiscard]] std::span<const double> load_squares() const {
+    return load_squares_;
+  }
+
   // Player i's current cost given the tracked loads.
   [[nodiscard]] double player_cost(std::size_t device) const;
 
@@ -119,25 +185,124 @@ class LoadTracker {
   [[nodiscard]] double cost_if_moved(std::size_t device,
                                      std::size_t option_index) const;
 
+  // Social-cost change of the unilateral switch, in O(1): only the at most
+  // six resources whose loads change contribute,
+  //   ΔT = Σ_r m_r ((P_r + δ_r)² - P_r²) = Σ_r m_r (2 P_r + δ_r) δ_r.
+  // MCBA's accept/reject test runs on this instead of a full total_cost().
+  [[nodiscard]] double delta_cost(std::size_t device,
+                                  std::size_t option_index) const;
+
+  // Social cost after the unilateral switch, evaluated with a full
+  // O(num_resources) sweep — bit-identical to { move(); total_cost(); }
+  // without mutating the tracker. This is the naive oracle MCBA keeps
+  // behind McbaConfig::naive_scan.
+  [[nodiscard]] double total_cost_if_moved(std::size_t device,
+                                           std::size_t option_index) const;
+
   struct BestResponse {
     std::size_t option_index = 0;
     double cost = 0.0;
+    // The player's cost at its current option — best_response() evaluates it
+    // anyway, so callers never pay a second player_cost() pass.
+    double current_cost = 0.0;
   };
   // Minimum-cost unilateral deviation for player i (includes staying put).
   [[nodiscard]] BestResponse best_response(std::size_t device) const;
 
   // Switches player i to `option_index`, updating loads incrementally.
+  // Resource categories shared by the old and new option (same server or
+  // same base station) carry identical p-values and are skipped, so their
+  // tracked loads keep their exact bits.
   void move(std::size_t device, std::size_t option_index);
 
   [[nodiscard]] double potential() const;
 
  private:
+  friend class BestResponseEngine;
+
   void add_device(std::size_t device, const Option& option, double sign);
 
   const WcgProblem* problem_;
   Profile profile_;
   std::vector<double> loads_;         // P_r
   std::vector<double> load_squares_;  // Σ_{i∈I_r} p_{i,r}² (for potential)
+};
+
+// Incremental best-response evaluator over a LoadTracker. best_response(i)
+// returns exactly what tracker.best_response(i) would — same option, same
+// cost bits — at a fraction of the arithmetic, by exploiting how option
+// costs factor over the tracked loads.
+//
+// cost_if_moved evaluates every option as the fixed left-associated sum
+//   (t_compute + t_access) + t_fronthaul,   t = fl(fl(w·p) · fl(l̃ + p)),
+// where l̃ is the load excluding the device's own current contribution. The
+// access and fronthaul terms are shared by every option of a device on one
+// base station, and the compute term by every option of a device on one
+// server — so a device's whole option list is priced by ~num_servers +
+// 2·num_base_stations cached terms. The engine keeps those terms current:
+// a move changes at most six resource loads, and only the terms of devices
+// touching those resources (plus the mover's own exclusion terms, which the
+// same sweeps cover) are re-derived, in O(devices on the changed resources)
+// three-flop updates. A best-response scan then costs two additions and a
+// compare per option, with scan order, strict-< tie handling, and every
+// intermediate rounding identical to the from-scratch evaluation — the
+// returned bits match LoadTracker::best_response exactly.
+//
+// CGBA runs on this engine by default; CgbaConfig::naive_scan keeps the full
+// O(devices × options) rescan as the correctness oracle the equivalence
+// tests compare against.
+class BestResponseEngine {
+ public:
+  // Binds to `tracker` (and its problem); both must outlive the engine. The
+  // engine owns every profile change from here on: route moves through
+  // BestResponseEngine::move, never the tracker directly.
+  explicit BestResponseEngine(LoadTracker& tracker);
+
+  // Best response (and current cost) for player i from the cached terms.
+  [[nodiscard]] const LoadTracker::BestResponse& best_response(
+      std::size_t device);
+
+  // Switches player i, updating tracker loads and re-deriving exactly the
+  // cost terms the changed resources invalidate.
+  void move(std::size_t device, std::size_t option_index);
+
+ private:
+  // A contiguous arena run of one device's options on one base station.
+  struct Group {
+    std::uint32_t begin = 0;  // arena range [begin, end)
+    std::uint32_t end = 0;
+    std::uint32_t device = 0;
+    std::uint32_t bs = 0;
+  };
+
+  void refresh_compute_term(std::size_t device, std::size_t server);
+  void refresh_access_term(std::size_t device, std::size_t bs);
+  void refresh_fronthaul_term(std::size_t device, std::size_t bs);
+
+  const WcgProblem* problem_;
+  LoadTracker* tracker_;
+  std::size_t num_servers_ = 0;
+  std::size_t num_base_stations_ = 0;
+  std::vector<LoadTracker::BestResponse> cached_;  // scan result, per device
+  std::vector<Group> groups_;  // device-major (device, base station) runs
+  std::vector<std::uint32_t> device_group_begin_;  // device -> first group
+  std::vector<std::uint32_t> server_of_entry_;     // arena entry -> server
+  // CSR lists of the distinct devices with an option on a server / a base
+  // station — the sweep sets for term refreshes after a move.
+  std::vector<std::uint32_t> server_device_offsets_;
+  std::vector<std::uint32_t> server_device_entries_;
+  std::vector<std::uint32_t> bs_device_offsets_;
+  std::vector<std::uint32_t> bs_device_entries_;
+  // Mover-maintained copies of each device's current server / base station,
+  // so exclusion checks never chase the option arena.
+  std::vector<std::uint32_t> cur_server_;
+  std::vector<std::uint32_t> cur_bs_;
+  // Per (device, server): p_compute, fl(w·p), and the cached compute term;
+  // per (device, base station): the same for access and fronthaul. Entries
+  // for infeasible pairs are never read.
+  std::vector<double> pc_, wpc_, tc_;  // devices × num_servers
+  std::vector<double> pa_, wpa_, ta_;  // devices × num_base_stations
+  std::vector<double> pf_, wpf_, tf_;  // devices × num_base_stations
 };
 
 }  // namespace eotora::core

@@ -95,10 +95,9 @@ core::DppSlotResult MpcPolicy::step(const core::SlotState& state,
 
   // Assignment: CGBA at the frequency floor (load shape, not speed, drives
   // the selection; P2-B-style reasoning fixes the speed afterwards).
-  core::WcgProblem problem(*instance_, state,
-                           instance_->min_frequencies());
-  const core::SolveResult p2a = core::cgba(problem, config_.cgba, rng);
-  const core::Assignment assignment = problem.to_assignment(p2a.profile);
+  problem_.rebuild(*instance_, state, instance_->min_frequencies());
+  const core::SolveResult p2a = core::cgba(problem_, config_.cgba, rng);
+  const core::Assignment assignment = problem_.to_assignment(p2a.profile);
 
   // Current per-server load sums.
   std::vector<double> compute_load(instance_->num_servers(), 0.0);

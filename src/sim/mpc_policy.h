@@ -69,6 +69,7 @@ class MpcPolicy final : public Policy {
   trace::OnlineTrendEstimator price_trend_;
   trace::OnlineTrendEstimator demand_trend_;
   double last_multiplier_ = 0.0;
+  core::WcgProblem problem_;  // rebuilt in place every step
 };
 
 }  // namespace eotora::sim

@@ -68,10 +68,10 @@ core::DppSlotResult GreedyBudgetPolicy::step(const core::SlotState& state,
   }  // else: even F^L busts the budget — run at the floor.
 
   const core::Frequencies frequencies = frequencies_at(fraction);
-  core::WcgProblem problem(*instance_, state, frequencies);
-  const core::SolveResult p2a = core::cgba(problem, cgba_, rng);
+  problem_.rebuild(*instance_, state, frequencies);
+  const core::SolveResult p2a = core::cgba(problem_, cgba_, rng);
   core::DppSlotResult result;
-  result.decision.assignment = problem.to_assignment(p2a.profile);
+  result.decision.assignment = problem_.to_assignment(p2a.profile);
   result.decision.frequencies = frequencies;
   result.decision.allocation =
       core::optimal_allocation(*instance_, state, result.decision.assignment);
@@ -98,10 +98,10 @@ FixedFrequencyPolicy::FixedFrequencyPolicy(const core::Instance& instance,
 
 core::DppSlotResult FixedFrequencyPolicy::step(const core::SlotState& state,
                                                util::Rng& rng) {
-  core::WcgProblem problem(*instance_, state, frequencies_);
-  const core::SolveResult p2a = core::cgba(problem, cgba_, rng);
+  problem_.rebuild(*instance_, state, frequencies_);
+  const core::SolveResult p2a = core::cgba(problem_, cgba_, rng);
   core::DppSlotResult result;
-  result.decision.assignment = problem.to_assignment(p2a.profile);
+  result.decision.assignment = problem_.to_assignment(p2a.profile);
   result.decision.frequencies = frequencies_;
   result.decision.allocation =
       core::optimal_allocation(*instance_, state, result.decision.assignment);

@@ -67,6 +67,9 @@ class GreedyBudgetPolicy final : public Policy {
 
   const core::Instance* instance_;
   core::CgbaConfig cgba_;
+  // Rebuilt in place every step; policies are per-replication objects, so a
+  // mutable scratch member needs no synchronisation.
+  core::WcgProblem problem_;
 };
 
 // Ablation: CGBA assignment at a fixed frequency for every server (as a
@@ -86,6 +89,7 @@ class FixedFrequencyPolicy final : public Policy {
   double fraction_;
   core::CgbaConfig cgba_;
   core::Frequencies frequencies_;
+  core::WcgProblem problem_;  // rebuilt in place every step
 };
 
 }  // namespace eotora::sim

@@ -1,0 +1,423 @@
+// Property/fuzz coverage for the incremental WCG hot path: the flat option
+// arena, LoadTracker's O(Δ) evaluators, and BestResponseEngine's move-scoped
+// invalidation must be indistinguishable from from-scratch recomputation.
+//
+// Two tiers of strictness:
+//   - From-scratch recomputation (fresh WcgProblem evaluation of the same
+//     profile) is compared to 1e-12 RELATIVE — incremental +=/-= updates
+//     legitimately differ from a clean summation at ulp level.
+//   - The engine vs the tracker, the oracle solver paths vs the fast paths,
+//     and rebuild() vs fresh construction are compared EXACTLY (EXPECT_EQ on
+//     doubles): those pairs run the same arithmetic on the same bits, and
+//     the paper-figure reproducibility guarantee rests on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/cgba.h"
+#include "core/mcba.h"
+#include "core/wcg.h"
+#include "energy/quadratic_energy.h"
+#include "test_helpers.h"
+#include "topology/builder.h"
+#include "util/rng.h"
+
+namespace eotora::core {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+// Random topology with occasionally-overlapping coverage: 1-3 clusters, 1-3
+// servers each, 2-4 base stations. Mirrors the generator in
+// test_property_fuzz.cpp; kept local so this suite can evolve its shapes
+// (e.g. denser device counts) independently.
+std::shared_ptr<topology::Topology> random_topology(util::Rng& rng) {
+  topology::TopologyBuilder builder;
+  builder.set_region({1000.0, 1000.0});
+  const std::size_t clusters = 1 + rng.index(3);
+  std::vector<topology::ClusterId> cluster_ids;
+  for (std::size_t m = 0; m < clusters; ++m) {
+    cluster_ids.push_back(builder.add_cluster(
+        "c" + std::to_string(m),
+        {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)}));
+  }
+  auto model = std::make_shared<energy::QuadraticEnergy>(
+      rng.uniform(1.0, 8.0), rng.uniform(0.0, 5.0), rng.uniform(5.0, 40.0));
+  std::size_t servers = 0;
+  for (std::size_t m = 0; m < clusters; ++m) {
+    const std::size_t count = 1 + rng.index(3);
+    for (std::size_t j = 0; j < count; ++j) {
+      const double lo = rng.uniform(1.0, 2.5);
+      builder.add_server("s" + std::to_string(servers++), cluster_ids[m],
+                         rng.bernoulli(0.5) ? 64 : 128, lo,
+                         lo + rng.uniform(0.5, 1.5), model);
+    }
+  }
+  const std::size_t stations = 2 + rng.index(3);
+  for (std::size_t k = 0; k < stations; ++k) {
+    std::vector<topology::ClusterId> connected;
+    for (auto id : cluster_ids) {
+      if (rng.bernoulli(0.6)) connected.push_back(id);
+    }
+    if (connected.empty()) connected.push_back(rng.pick(cluster_ids));
+    builder.add_base_station(
+        "b" + std::to_string(k),
+        {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)},
+        topology::Band::kLow, 3000.0, rng.uniform(50e6, 100e6),
+        rng.uniform(0.5e9, 1e9), 10.0, connected);
+  }
+  const std::size_t devices = 3 + rng.index(8);
+  for (std::size_t i = 0; i < devices; ++i) {
+    builder.add_device("d" + std::to_string(i),
+                       {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  }
+  return std::make_shared<topology::Topology>(builder.build());
+}
+
+SlotState random_sparse_state(const topology::Topology& topo,
+                              util::Rng& rng) {
+  SlotState state;
+  state.slot = 0;
+  const std::size_t devices = topo.num_devices();
+  const std::size_t stations = topo.num_base_stations();
+  state.task_cycles.resize(devices);
+  state.data_bits.resize(devices);
+  state.channel.assign(devices, std::vector<double>(stations, 0.0));
+  for (std::size_t i = 0; i < devices; ++i) {
+    state.task_cycles[i] = rng.uniform(1e7, 5e8);
+    state.data_bits[i] = rng.uniform(1e6, 2e7);
+    bool any = false;
+    for (std::size_t k = 0; k < stations; ++k) {
+      if (rng.bernoulli(0.6)) {
+        state.channel[i][k] = rng.uniform(15.0, 50.0);
+        any = true;
+      }
+    }
+    if (!any) {
+      state.channel[i][rng.index(stations)] = rng.uniform(15.0, 50.0);
+    }
+  }
+  state.price_per_mwh = rng.uniform(5.0, 300.0);
+  return state;
+}
+
+void expect_rel_near(double actual, double expected, const char* what) {
+  const double scale = std::max({std::abs(actual), std::abs(expected), 1.0});
+  EXPECT_NEAR(actual, expected, kRelTol * scale) << what;
+}
+
+class IncrementalFuzz : public ::testing::TestWithParam<int> {};
+
+// After an arbitrary interleaving of engine moves (random moves, not just
+// improving ones), every piece of incremental state must agree with a
+// from-scratch evaluation, and the engine must agree with the tracker
+// EXACTLY.
+TEST_P(IncrementalFuzz, EngineMatchesTrackerAndFromScratchAfterRandomMoves) {
+  util::Rng rng(40'000 + GetParam());
+  const auto topo = random_topology(rng);
+  const std::size_t devices = topo->num_devices();
+  Instance instance(topo,
+                    Instance::random_sigma(devices, topo->num_servers(), rng),
+                    rng.uniform(0.1, 5.0));
+  const SlotState state = random_sparse_state(*topo, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+
+  LoadTracker tracker(problem, problem.random_profile(rng));
+  BestResponseEngine engine(tracker);
+
+  for (int step = 0; step < 60; ++step) {
+    const std::size_t device = rng.index(devices);
+    if (rng.bernoulli(0.5)) {
+      // Random (possibly worsening, possibly no-op) move.
+      engine.move(device, rng.index(problem.options(device).size()));
+    } else {
+      // Move to the cached best response, CGBA-style.
+      engine.move(device, engine.best_response(device).option_index);
+    }
+
+    // Engine == tracker, bit for bit, for EVERY player after EVERY move.
+    for (std::size_t i = 0; i < devices; ++i) {
+      const LoadTracker::BestResponse fresh = tracker.best_response(i);
+      const LoadTracker::BestResponse& cached = engine.best_response(i);
+      ASSERT_EQ(cached.option_index, fresh.option_index)
+          << "device " << i << " step " << step;
+      ASSERT_EQ(cached.cost, fresh.cost) << "device " << i << " step " << step;
+      ASSERT_EQ(cached.current_cost, fresh.current_cost)
+          << "device " << i << " step " << step;
+    }
+  }
+
+  // Incremental loads / load-squares vs a from-scratch accumulation.
+  const Profile& z = tracker.profile();
+  std::vector<double> loads(problem.num_resources(), 0.0);
+  std::vector<double> squares(problem.num_resources(), 0.0);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const Option& opt = problem.options(i)[z[i]];
+    loads[opt.r_compute] += opt.p_compute;
+    loads[opt.r_access] += opt.p_access;
+    loads[opt.r_fronthaul] += opt.p_fronthaul;
+    squares[opt.r_compute] += opt.p_compute * opt.p_compute;
+    squares[opt.r_access] += opt.p_access * opt.p_access;
+    squares[opt.r_fronthaul] += opt.p_fronthaul * opt.p_fronthaul;
+  }
+  // Incremental error is relative to the magnitudes that flowed through a
+  // resource, not to its final value — a resource that empties out keeps an
+  // absolute residue of order ulp(peak load), so compare against the
+  // problem-wide scale.
+  double loads_scale = 1.0;
+  double squares_scale = 1.0;
+  for (std::size_t r = 0; r < problem.num_resources(); ++r) {
+    loads_scale = std::max(loads_scale, loads[r]);
+    squares_scale = std::max(squares_scale, squares[r]);
+  }
+  for (std::size_t r = 0; r < problem.num_resources(); ++r) {
+    EXPECT_NEAR(tracker.loads()[r], loads[r], kRelTol * loads_scale)
+        << "loads " << r;
+    EXPECT_NEAR(tracker.load_squares()[r], squares[r],
+                kRelTol * squares_scale)
+        << "load_squares " << r;
+  }
+
+  // Tracked costs vs from-scratch problem evaluation of the same profile.
+  expect_rel_near(tracker.total_cost(), problem.total_cost(z), "total_cost");
+  expect_rel_near(tracker.potential(), problem.potential(z), "potential");
+  for (std::size_t i = 0; i < devices; ++i) {
+    expect_rel_near(tracker.player_cost(i), problem.player_cost(z, i),
+                    "player_cost");
+  }
+}
+
+// delta_cost and total_cost_if_moved against the ground truth of actually
+// performing the move on a copy of the tracker.
+TEST_P(IncrementalFuzz, DeltaAndIfMovedEvaluatorsMatchAppliedMoves) {
+  util::Rng rng(50'000 + GetParam());
+  const auto topo = random_topology(rng);
+  const std::size_t devices = topo->num_devices();
+  Instance instance(topo,
+                    Instance::random_sigma(devices, topo->num_servers(), rng),
+                    rng.uniform(0.1, 5.0));
+  const SlotState state = random_sparse_state(*topo, rng);
+  const WcgProblem problem(instance, state, instance.min_frequencies());
+
+  LoadTracker tracker(problem, problem.random_profile(rng));
+  for (int step = 0; step < 40; ++step) {
+    const std::size_t device = rng.index(devices);
+    const std::size_t option = rng.index(problem.options(device).size());
+
+    // total_cost_if_moved reproduces { move(); total_cost(); } EXACTLY.
+    LoadTracker applied = tracker;
+    applied.move(device, option);
+    ASSERT_EQ(tracker.total_cost_if_moved(device, option),
+              applied.total_cost())
+        << "step " << step;
+
+    // delta_cost equals the realized social-cost change (different
+    // summation order, so relative tolerance).
+    const double delta = tracker.delta_cost(device, option);
+    expect_rel_near(tracker.total_cost() + delta, applied.total_cost(),
+                    "delta_cost");
+
+    // cost_if_moved equals the mover's cost after the move. Not exact: on a
+    // coincident resource it evaluates (L - p) + p while move() leaves L
+    // untouched, an ulp-level difference.
+    expect_rel_near(tracker.cost_if_moved(device, option),
+                    applied.player_cost(device), "cost_if_moved");
+
+    // best_response carries the current cost (satellite: no duplicate
+    // player_cost() evaluation in CGBA).
+    const LoadTracker::BestResponse br = tracker.best_response(device);
+    ASSERT_EQ(br.current_cost, tracker.player_cost(device));
+    ASSERT_LE(br.cost, br.current_cost);
+
+    tracker.move(device, option);  // random walk
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz, ::testing::Range(0, 25));
+
+class OracleEquivalence : public ::testing::TestWithParam<int> {};
+
+// The cached-engine CGBA must be indistinguishable from the naive full-scan
+// oracle: identical move counts, identical final profile, identical cost
+// bits — for both selection rules, from the same warm start.
+TEST_P(OracleEquivalence, CgbaCachedEqualsNaiveBothSelectionModes) {
+  util::Rng rng(60'000 + GetParam());
+  const auto topo = random_topology(rng);
+  const std::size_t devices = topo->num_devices();
+  Instance instance(topo,
+                    Instance::random_sigma(devices, topo->num_servers(), rng),
+                    rng.uniform(0.1, 5.0));
+  const SlotState state = random_sparse_state(*topo, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+  const Profile start = problem.random_profile(rng);
+
+  for (const CgbaSelection selection :
+       {CgbaSelection::kMaxGap, CgbaSelection::kRoundRobin}) {
+    CgbaConfig fast;
+    fast.selection = selection;
+    fast.lambda = rng.bernoulli(0.5) ? 0.0 : 0.05;
+    CgbaConfig naive = fast;
+    naive.naive_scan = true;
+
+    const SolveResult a = cgba_from(problem, fast, start);
+    const SolveResult b = cgba_from(problem, naive, start);
+    ASSERT_EQ(a.iterations, b.iterations);
+    ASSERT_EQ(a.converged, b.converged);
+    ASSERT_EQ(a.profile, b.profile);
+    ASSERT_EQ(a.cost, b.cost);  // exact: same moves through the same tracker
+  }
+}
+
+// MCBA's O(1) delta path vs the full-sweep oracle: same rng stream, same
+// accept decisions, same visited profiles, same cost bits.
+TEST_P(OracleEquivalence, McbaFastEqualsNaive) {
+  util::Rng rng(70'000 + GetParam());
+  const auto topo = random_topology(rng);
+  const std::size_t devices = topo->num_devices();
+  Instance instance(topo,
+                    Instance::random_sigma(devices, topo->num_servers(), rng),
+                    rng.uniform(0.1, 5.0));
+  const SlotState state = random_sparse_state(*topo, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+
+  McbaConfig fast;
+  fast.iterations = 2000;
+  McbaConfig naive = fast;
+  naive.naive_scan = true;
+
+  const unsigned seed = 90'000 + GetParam();
+  util::Rng rng_fast(seed);
+  util::Rng rng_naive(seed);
+  const SolveResult a = mcba(problem, fast, rng_fast);
+  const SolveResult b = mcba(problem, naive, rng_naive);
+  ASSERT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.profile, b.profile);
+  ASSERT_EQ(a.cost, b.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleEquivalence, ::testing::Range(0, 25));
+
+// rebuild() on a dirty problem must be indistinguishable from a freshly
+// constructed one — same options, weights, inverted index, and cost bits.
+TEST(WcgRebuild, RebuildEqualsFreshConstruction) {
+  util::Rng rng(99);
+  const Instance instance = test::tiny_instance(5);
+  const SlotState state1 = test::random_state(5, 2, rng);
+  const SlotState state2 = test::random_state(5, 2, rng);
+
+  WcgProblem reused(instance, state1, instance.min_frequencies());
+  reused.rebuild(instance, state2, instance.max_frequencies());
+  const WcgProblem fresh(instance, state2, instance.max_frequencies());
+
+  ASSERT_EQ(reused.num_devices(), fresh.num_devices());
+  ASSERT_EQ(reused.num_resources(), fresh.num_resources());
+  ASSERT_EQ(reused.num_options(), fresh.num_options());
+  for (std::size_t r = 0; r < fresh.num_resources(); ++r) {
+    EXPECT_EQ(reused.weight(r), fresh.weight(r));
+    const auto ia = reused.options_on_resource(r);
+    const auto ib = fresh.options_on_resource(r);
+    ASSERT_EQ(ia.size(), ib.size());
+    for (std::size_t t = 0; t < ia.size(); ++t) EXPECT_EQ(ia[t], ib[t]);
+  }
+  for (std::size_t i = 0; i < fresh.num_devices(); ++i) {
+    const auto oa = reused.options(i);
+    const auto ob = fresh.options(i);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t o = 0; o < oa.size(); ++o) {
+      EXPECT_EQ(oa[o].bs, ob[o].bs);
+      EXPECT_EQ(oa[o].server, ob[o].server);
+      EXPECT_EQ(oa[o].p_compute, ob[o].p_compute);
+      EXPECT_EQ(oa[o].p_access, ob[o].p_access);
+      EXPECT_EQ(oa[o].p_fronthaul, ob[o].p_fronthaul);
+    }
+  }
+  const Profile z = fresh.random_profile(rng);
+  EXPECT_EQ(reused.total_cost(z), fresh.total_cost(z));
+  EXPECT_EQ(reused.potential(z), fresh.potential(z));
+}
+
+// rebuild() survives shrinking and growing shapes (a smaller slot after a
+// bigger one must not leave stale arena/index tails behind).
+TEST(WcgRebuild, RebuildAcrossDifferentShapes) {
+  util::Rng rng(7);
+  WcgProblem reused;
+  for (const std::size_t devices : {6UL, 2UL, 9UL, 3UL}) {
+    const Instance instance = test::tiny_instance(devices);
+    const SlotState state = test::random_state(devices, 2, rng);
+    reused.rebuild(instance, state, instance.max_frequencies());
+    const WcgProblem fresh(instance, state, instance.max_frequencies());
+    ASSERT_EQ(reused.num_devices(), fresh.num_devices());
+    ASSERT_EQ(reused.num_options(), fresh.num_options());
+    util::Rng profile_rng(11);
+    const Profile z = fresh.random_profile(profile_rng);
+    EXPECT_EQ(reused.total_cost(z), fresh.total_cost(z));
+  }
+}
+
+TEST(WcgRebuild, RebuildStillRejectsInfeasibleDevices) {
+  const Instance instance = test::tiny_instance(3);
+  SlotState state = test::uniform_state(3, 2);
+  WcgProblem problem(instance, state, instance.max_frequencies());
+  for (auto& h : state.channel[1]) h = 0.0;  // device 1 blacked out
+  EXPECT_THROW(problem.rebuild(instance, state, instance.max_frequencies()),
+               std::invalid_argument);
+}
+
+// Scratch-buffer overloads return the same bits as the allocating ones.
+TEST(WcgScratch, ScratchOverloadsMatchAllocatingOverloads) {
+  util::Rng rng(13);
+  const Instance instance = test::tiny_instance(4);
+  const SlotState state = test::random_state(4, 2, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+
+  std::vector<double> scratch;
+  std::vector<double> squares;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Profile z = problem.random_profile(rng);
+    EXPECT_EQ(problem.total_cost(z, scratch), problem.total_cost(z));
+    EXPECT_EQ(problem.potential(z, scratch, squares), problem.potential(z));
+    for (std::size_t i = 0; i < problem.num_devices(); ++i) {
+      EXPECT_EQ(problem.player_cost(z, i, scratch),
+                problem.player_cost(z, i));
+    }
+  }
+}
+
+// The inverted index is exactly the transpose of the option->resource map.
+TEST(WcgInvertedIndex, IndexIsConsistentWithArena) {
+  util::Rng rng(17);
+  const auto topo = random_topology(rng);
+  const std::size_t devices = topo->num_devices();
+  Instance instance(topo,
+                    Instance::random_sigma(devices, topo->num_servers(), rng),
+                    1.0);
+  const SlotState state = random_sparse_state(*topo, rng);
+  const WcgProblem problem(instance, state, instance.max_frequencies());
+
+  std::size_t total_entries = 0;
+  for (std::size_t r = 0; r < problem.num_resources(); ++r) {
+    for (const std::uint32_t a : problem.options_on_resource(r)) {
+      const Option& opt = problem.option_at(a);
+      EXPECT_TRUE(opt.r_compute == r || opt.r_access == r ||
+                  opt.r_fronthaul == r)
+          << "resource " << r << " arena " << a;
+      ++total_entries;
+    }
+  }
+  // Every option touches exactly three distinct resources.
+  EXPECT_EQ(total_entries, 3 * problem.num_options());
+
+  // arena_offset/device_of agree with options().
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::size_t base = problem.arena_offset(i);
+    for (std::size_t o = 0; o < problem.options(i).size(); ++o) {
+      EXPECT_EQ(problem.device_of(base + o), i);
+      EXPECT_EQ(problem.option_at(base + o).bs, problem.options(i)[o].bs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eotora::core
