@@ -32,8 +32,45 @@ options (all --key=value):
   --record   write the generated state trace to this CSV path
   --replay   read states from this CSV instead of generating
   --log      write a per-slot decision log (CSV) to this path
+  --audit    re-validate every slot against the P1 constraint set
+             (sim/audit.h): "every" (default when the flag is bare),
+             "sample" (every 16th slot), or "off"; exits 3 on violations
   --help     this text
 )";
+}
+
+// Parses the --audit flag value into a config, with check_queue narrowed
+// to policies that actually maintain the virtual queue.
+eotora::sim::AuditConfig parse_audit_config(const std::string& value,
+                                            const std::string& policy_name) {
+  eotora::sim::AuditConfig config;
+  if (value.empty() || value == "every" || value == "every-slot") {
+    config.mode = eotora::sim::AuditMode::kEverySlot;
+  } else if (value == "sample" || value == "sampled") {
+    config.mode = eotora::sim::AuditMode::kSampled;
+  } else if (value == "off") {
+    config.mode = eotora::sim::AuditMode::kOff;
+  } else {
+    throw std::invalid_argument("--audit must be every | sample | off, got '" +
+                                value + "'");
+  }
+  config.check_queue = eotora::sim::policy_tracks_queue(policy_name);
+  return config;
+}
+
+// Prints the audit digest and the first few violations; returns the
+// process exit code (0 clean, 3 violations).
+int report_audit(const eotora::sim::AuditReport& report) {
+  std::cout << "audit: " << report.summary() << "\n";
+  constexpr std::size_t kMaxShown = 5;
+  for (std::size_t i = 0; i < report.violations.size() && i < kMaxShown; ++i) {
+    std::cout << "  " << report.violations[i].describe() << "\n";
+  }
+  if (report.violations.size() > kMaxShown) {
+    std::cout << "  ... " << (report.total_violations() - kMaxShown)
+              << " more\n";
+  }
+  return report.clean() ? 0 : 3;
 }
 
 }  // namespace
@@ -43,7 +80,8 @@ int main(int argc, char** argv) {
   try {
     const util::Args args(argc, argv,
                           {"policy", "devices", "days", "budget", "v", "q0",
-                           "z", "seed", "record", "replay", "log", "help"});
+                           "z", "seed", "record", "replay", "log", "audit",
+                           "help"});
     if (args.has("help")) {
       print_usage();
       return 0;
@@ -91,27 +129,42 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    sim::AuditConfig audit;
+    audit.mode = sim::AuditMode::kOff;
+    if (args.has("audit")) {
+      audit = parse_audit_config(args.get("audit", ""), policy_name);
+    }
+    const bool auditing = audit.mode != sim::AuditMode::kOff;
+
     sim::SimulationResult result;
     if (args.has("log")) {
-      // Manual loop so each slot can be logged.
+      // Manual loop so each slot can be logged (and audited in-line).
       policy->reset();
       util::Rng rng(1);
       result.policy_name = policy->name();
       sim::DecisionLog log;
+      sim::SlotAuditor auditor(scenario.instance(), audit);
       util::Timer timer;
       for (const auto& state : states) {
         const auto slot = policy->step(state, rng);
         result.metrics.record(slot);
         log.record(state, slot);
+        if (auditing) auditor.observe(state, slot);
       }
       result.wall_seconds = timer.elapsed_seconds();
+      result.audit = auditor.report();
       log.save(args.get("log", ""));
       std::cout << "wrote per-slot log to " << args.get("log", "") << "\n";
+    } else if (auditing) {
+      result = sim::run_policy(*policy, scenario.instance(), states, audit);
     } else {
       result = sim::run_policy(*policy, states);
     }
     std::cout << "\n";
     sim::print_comparison(std::cout, {result}, config.budget_per_slot);
+    if (auditing) {
+      return report_audit(result.audit);
+    }
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";

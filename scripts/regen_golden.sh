@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the golden-trace fixtures under tests/golden/ and verifies the
+# result is stable (record -> check must pass byte-for-byte).
+#
+# Run this ONLY when a change intentionally alters solver decisions or
+# metrics; commit the fixture diff together with a CHANGES.md note saying
+# why the goldens moved (see docs/TESTING.md).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target golden_tool -j >/dev/null
+
+"$BUILD_DIR/tests/golden_tool" record
+"$BUILD_DIR/tests/golden_tool" check
+
+echo "golden fixtures regenerated and verified; review 'git diff tests/golden/'"

@@ -42,12 +42,82 @@ std::string DecisionLog::to_csv() const {
   return oss.str();
 }
 
+DecisionLog DecisionLog::from_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("DecisionLog::from_csv: empty input");
+  }
+  const std::string expected_header =
+      "slot,price,latency,energy_cost,theta,queue,mean_ghz,min_ghz,max_ghz";
+  if (line != expected_header) {
+    throw std::invalid_argument("DecisionLog::from_csv: bad header '" + line +
+                                "'");
+  }
+  DecisionLog log;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;  // tolerate a trailing newline
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream row_stream(line);
+    while (std::getline(row_stream, field, ',')) fields.push_back(field);
+    if (fields.size() != 9) {
+      throw std::invalid_argument(
+          "DecisionLog::from_csv: line " + std::to_string(line_number) +
+          " has " + std::to_string(fields.size()) + " fields, expected 9");
+    }
+    const auto parse_double = [&](std::size_t index) {
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(fields[index], &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != fields[index].size() || fields[index].empty()) {
+        throw std::invalid_argument("DecisionLog::from_csv: line " +
+                                    std::to_string(line_number) +
+                                    ": bad number '" + fields[index] + "'");
+      }
+      return value;
+    };
+    Row row;
+    const double slot = parse_double(0);
+    if (slot < 0.0 || slot != static_cast<double>(
+                                  static_cast<std::size_t>(slot))) {
+      throw std::invalid_argument("DecisionLog::from_csv: line " +
+                                  std::to_string(line_number) +
+                                  ": bad slot '" + fields[0] + "'");
+    }
+    row.slot = static_cast<std::size_t>(slot);
+    row.price = parse_double(1);
+    row.latency = parse_double(2);
+    row.energy_cost = parse_double(3);
+    row.theta = parse_double(4);
+    row.queue = parse_double(5);
+    row.mean_ghz = parse_double(6);
+    row.min_ghz = parse_double(7);
+    row.max_ghz = parse_double(8);
+    log.rows_.push_back(row);
+  }
+  return log;
+}
+
 void DecisionLog::save(const std::string& path) const {
+  // Serialize first: an empty log must throw before the file is created.
+  const std::string csv = to_csv();
   std::ofstream file(path);
   if (!file) {
     throw std::runtime_error("DecisionLog::save: cannot open '" + path + "'");
   }
-  file << to_csv();
+  file << csv;
+  file.flush();
+  if (!file) {
+    throw std::runtime_error("DecisionLog::save: write to '" + path +
+                             "' failed");
+  }
 }
 
 }  // namespace eotora::sim

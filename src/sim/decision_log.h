@@ -1,7 +1,9 @@
 // Per-slot decision logging to CSV for post-hoc analysis/plotting.
 //
 // Columns: slot, price, latency, energy_cost, theta, queue, mean_ghz,
-// min_ghz, max_ghz — one row per simulated slot.
+// min_ghz, max_ghz — one row per simulated slot. from_csv() parses the
+// exact format to_csv() emits (precision 17 round-trips every double), so
+// a saved log can be reloaded and compared row-for-row in tests.
 #pragma once
 
 #include <string>
@@ -13,17 +15,6 @@ namespace eotora::sim {
 
 class DecisionLog {
  public:
-  void record(const core::SlotState& state, const core::DppSlotResult& slot);
-
-  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
-
-  // Writes the accumulated rows as CSV. Throws std::runtime_error when the
-  // file cannot be opened and std::invalid_argument when empty.
-  void save(const std::string& path) const;
-
-  [[nodiscard]] std::string to_csv() const;
-
- private:
   struct Row {
     std::size_t slot = 0;
     double price = 0.0;
@@ -34,7 +25,35 @@ class DecisionLog {
     double mean_ghz = 0.0;
     double min_ghz = 0.0;
     double max_ghz = 0.0;
+
+    bool operator==(const Row& other) const {
+      return slot == other.slot && price == other.price &&
+             latency == other.latency && energy_cost == other.energy_cost &&
+             theta == other.theta && queue == other.queue &&
+             mean_ghz == other.mean_ghz && min_ghz == other.min_ghz &&
+             max_ghz == other.max_ghz;
+    }
+    bool operator!=(const Row& other) const { return !(*this == other); }
   };
+
+  void record(const core::SlotState& state, const core::DppSlotResult& slot);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<Row>& entries() const { return rows_; }
+
+  // Writes the accumulated rows as CSV. Throws std::runtime_error (naming
+  // the path) when the file cannot be opened or the write fails, and
+  // std::invalid_argument when the log is empty.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] std::string to_csv() const;
+
+  // Inverse of to_csv(): parses header + rows back into a log. Throws
+  // std::invalid_argument on a wrong header, a short/long row, or an
+  // unparsable field.
+  [[nodiscard]] static DecisionLog from_csv(const std::string& csv);
+
+ private:
   std::vector<Row> rows_;
 };
 

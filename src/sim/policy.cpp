@@ -82,6 +82,26 @@ core::DppSlotResult GreedyBudgetPolicy::step(const core::SlotState& state,
   return result;
 }
 
+BetaOnlyPolicy::BetaOnlyPolicy(const core::Instance& instance,
+                               core::BetaOnlyConfig config)
+    : instance_(&instance), config_(config) {}
+
+core::DppSlotResult BetaOnlyPolicy::step(const core::SlotState& state,
+                                         util::Rng& rng) {
+  const double budget = instance_->budget_per_slot();
+  const core::BetaOnlyResult oracle =
+      core::solve_beta_only(*instance_, state, budget, config_, rng);
+  core::DppSlotResult result;
+  result.decision.assignment = oracle.assignment;
+  result.decision.frequencies = oracle.frequencies;
+  result.decision.allocation =
+      core::optimal_allocation(*instance_, state, result.decision.assignment);
+  result.latency = oracle.latency;
+  result.energy_cost = oracle.energy_cost;
+  result.theta = oracle.energy_cost - budget;
+  return result;
+}
+
 FixedFrequencyPolicy::FixedFrequencyPolicy(const core::Instance& instance,
                                            double fraction,
                                            core::CgbaConfig cgba)

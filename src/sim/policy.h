@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "core/beta_only.h"
 #include "core/dpp.h"
 #include "core/instance.h"
 #include "util/rng.h"
@@ -70,6 +71,28 @@ class GreedyBudgetPolicy final : public Policy {
   // Rebuilt in place every step; policies are per-replication objects, so a
   // mutable scratch member needs no synchronisation.
   core::WcgProblem problem_;
+};
+
+// The Lemma-2 β-only oracle as an online policy: each slot, minimize
+// latency subject to spending at most the per-slot budget C̄ (multiplier
+// bisection over BDMA, core::solve_beta_only). Queue-free by construction —
+// the strongest baseline in the policy class DPP's Theorem 4 compares
+// against.
+class BetaOnlyPolicy final : public Policy {
+ public:
+  explicit BetaOnlyPolicy(const core::Instance& instance,
+                          core::BetaOnlyConfig config = {});
+
+  core::DppSlotResult step(const core::SlotState& state,
+                           util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override {
+    return "Beta-only (per-slot budget)";
+  }
+  void reset() override {}
+
+ private:
+  const core::Instance* instance_;
+  core::BetaOnlyConfig config_;
 };
 
 // Ablation: CGBA assignment at a fixed frequency for every server (as a

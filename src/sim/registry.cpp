@@ -33,6 +33,12 @@ std::unique_ptr<Policy> make_fixed(double fraction,
 // std::map keeps registered_policies() sorted with no extra work.
 const std::map<std::string, Builder>& builders() {
   static const std::map<std::string, Builder> registry = {
+      {"beta-only",
+       [](const core::Instance& instance, const PolicyParams& params) {
+         core::BetaOnlyConfig config;
+         config.bdma.iterations = params.bdma_iterations;
+         return std::make_unique<BetaOnlyPolicy>(instance, config);
+       }},
       {"dpp-bdma",
        [](const core::Instance& instance, const PolicyParams& params) {
          return make_dpp(core::P2aSolverKind::kCgba, instance, params);
@@ -97,6 +103,12 @@ std::unique_ptr<Policy> make_policy(const std::string& name,
   auto policy = it->second(instance, params);
   EOTORA_ASSERT(policy != nullptr);
   return policy;
+}
+
+bool policy_tracks_queue(const std::string& name) {
+  // Only the DPP family maintains the virtual queue of Eq. (21); every
+  // other registered policy reports Q == 0 regardless of theta.
+  return name.rfind("dpp-", 0) == 0;
 }
 
 PolicyFactory policy_factory(const std::string& name,

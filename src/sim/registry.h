@@ -9,6 +9,7 @@
 // constructors.
 //
 // Registered names:
+//   beta-only        BetaOnlyPolicy (Lemma-2 per-slot budget oracle)
 //   dpp-bdma         DppPolicy, CGBA inner solver (the paper's controller)
 //   dpp-mcba         DppPolicy, MCBA inner solver ("MCBA-based DPP")
 //   dpp-ropt         DppPolicy, ROPT inner solver ("ROPT-based DPP")
@@ -45,6 +46,12 @@ struct PolicyParams {
 [[nodiscard]] std::vector<std::string> registered_policies();
 
 [[nodiscard]] bool is_registered_policy(const std::string& name);
+
+// Whether the named policy maintains the DPP virtual queue (Eq. (21)).
+// Policies that don't report Q_before == Q_after == 0 with theta != 0, so
+// audits of their runs should disable the queue-ledger checks
+// (AuditConfig::check_queue).
+[[nodiscard]] bool policy_tracks_queue(const std::string& name);
 
 // Builds a fresh policy bound to `instance`. Throws std::invalid_argument
 // for an unknown name, listing the registered ones.

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "util/build_info.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -177,13 +178,22 @@ SweepCell run_cell(const SweepSpec& spec, const AxisAssignment& assignment,
   util::RunningStats avg_latency;
   util::RunningStats avg_cost;
   util::RunningStats avg_backlog;
+  // Queue-ledger checks only make sense for policies that keep the queue.
+  AuditConfig audit = spec.audit;
+  audit.check_queue = audit.check_queue && policy_tracks_queue(policy_name);
+
   for (std::size_t r = 0; r < spec.seeds; ++r) {
     ScenarioConfig seeded = config;
     seeded.seed = config.seed + r;
     Scenario scenario(seeded);
     const auto states = scenario.generate_states(spec.horizon);
     auto policy = make_policy(policy_name, scenario.instance(), params);
-    const auto result = run_policy(*policy, states, 1 + r);
+    const auto result =
+        audit.mode == AuditMode::kOff
+            ? run_policy(*policy, states, 1 + r)
+            : run_policy(*policy, scenario.instance(), states, audit, 1 + r);
+    cell.audited_slots += result.audit.slots_audited;
+    cell.audit_violations += result.audit.total_violations();
     const auto tail = tail_averages(result, spec.window);
     cell.policy_label = result.policy_name;
     cell.tail_latency_stats.add(tail.latency);
@@ -230,6 +240,7 @@ SweepResult run_sweep(const SweepSpec& spec, std::size_t threads) {
   result.horizon = spec.horizon;
   result.window = spec.window;
   result.seeds = spec.seeds;
+  result.audit_mode = spec.audit.mode;
   result.cells.resize(keys.size());
 
   auto& pool = util::ThreadPool::shared();
@@ -276,12 +287,21 @@ util::Table SweepResult::table() const {
 }
 
 util::Json SweepResult::to_json() const {
+  const bool audited = audit_mode != AuditMode::kOff;
   util::Json doc = util::Json::object();
   doc["schema"] = "eotora-sweep-v1";
+  // Provenance stamps (additive, backward-compatible with v1 readers):
+  // which build produced this artifact. "unknown" outside a git checkout.
+  doc["commit"] = util::build_info().commit;
+  doc["build_type"] = util::build_info().build_type;
   doc["name"] = name;
   doc["horizon"] = horizon;
   doc["window"] = window;
   doc["seeds"] = seeds;
+  if (audited) {
+    doc["audit_mode"] =
+        audit_mode == AuditMode::kEverySlot ? "every-slot" : "sampled";
+  }
   util::Json axes_json = util::Json::array();
   for (const auto& axis : axes) {
     util::Json axis_json = util::Json::object();
@@ -311,6 +331,10 @@ util::Json SweepResult::to_json() const {
     record["tail_latency_ci"] = cell.tail_latency_ci_halfwidth();
     record["tail_latency_min"] = cell.tail_latency_stats.min();
     record["tail_latency_max"] = cell.tail_latency_stats.max();
+    if (audited) {
+      record["audited_slots"] = cell.audited_slots;
+      record["audit_violations"] = cell.audit_violations;
+    }
     // Wall-clock fields: NOT deterministic; strip before diffing records.
     record["decision_seconds"] = cell.decision_seconds;
     record["wall_seconds"] = cell.wall_seconds;

@@ -55,6 +55,12 @@ struct SweepSpec {
   // assignment.
   std::function<void(const AxisAssignment&, ScenarioConfig&, PolicyParams&)>
       configure;
+  // Per-slot feasibility auditing of every cell run (sim/audit.h). Off by
+  // default — enabling it re-validates each DppSlotResult against the P1
+  // constraint set. check_queue is automatically narrowed per policy via
+  // policy_tracks_queue(), so mixing dpp-* and queue-free baselines in one
+  // sweep stays sound.
+  AuditConfig audit{AuditMode::kOff};
 };
 
 // One (axis values × policy) cell, aggregated over the spec's seeds.
@@ -70,6 +76,8 @@ struct SweepCell {
   double avg_backlog = 0.0;
   double decision_seconds = 0.0;  // summed policy decision time (run_policy)
   double wall_seconds = 0.0;      // total cell time incl. scenario + states
+  std::size_t audited_slots = 0;      // summed over seeds (0 when audit off)
+  std::size_t audit_violations = 0;   // total violations found across seeds
 
   // 95% normal-approximation CI half-width of the tail latency across
   // seeds (zero for seeds < 2).
@@ -83,6 +91,7 @@ struct SweepResult {
   std::size_t horizon = 0;
   std::size_t window = 0;
   std::size_t seeds = 0;
+  AuditMode audit_mode = AuditMode::kOff;
   std::vector<SweepCell> cells;  // axis-major, policy-minor order
   double wall_seconds = 0.0;
 
@@ -90,9 +99,11 @@ struct SweepResult {
   // seeds > 1.
   [[nodiscard]] util::Table table() const;
 
-  // The machine-readable artifact. Every field except the two wall-clock
-  // ones ("decision_seconds", "wall_seconds" per record, "wall_seconds" at
-  // the top level) is deterministic for a given spec.
+  // The machine-readable artifact. Every field is deterministic for a
+  // given spec except the wall-clock ones ("decision_seconds",
+  // "wall_seconds" per record, "wall_seconds" at the top level) and the
+  // provenance stamps ("commit", "build_type"), which track the producing
+  // build rather than the spec.
   [[nodiscard]] util::Json to_json() const;
 
   // dump(to_json(), indent=2) to `path` (creating nothing but the file).

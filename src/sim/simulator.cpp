@@ -21,6 +21,28 @@ SimulationResult run_policy(Policy& policy,
   return result;
 }
 
+SimulationResult run_policy(Policy& policy, const core::Instance& instance,
+                            const std::vector<core::SlotState>& states,
+                            const AuditConfig& audit, std::uint64_t seed) {
+  EOTORA_REQUIRE(!states.empty());
+  policy.reset();
+  util::Rng rng(seed);
+  SlotAuditor auditor(instance, audit);
+  SimulationResult result;
+  result.policy_name = policy.name();
+  double decision_seconds = 0.0;
+  for (const auto& state : states) {
+    util::Timer timer;
+    core::DppSlotResult slot = policy.step(state, rng);
+    decision_seconds += timer.elapsed_seconds();
+    auditor.observe(state, slot);
+    result.metrics.record(slot);
+  }
+  result.wall_seconds = decision_seconds;
+  result.audit = auditor.report();
+  return result;
+}
+
 WindowAverages tail_averages(const SimulationResult& result,
                              std::size_t window) {
   const auto& latency = result.metrics.latency_series();

@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "core/instance.h"
 #include "core/metrics.h"
+#include "sim/audit.h"
 #include "sim/policy.h"
 
 namespace eotora::sim {
@@ -17,12 +19,23 @@ struct SimulationResult {
   std::string policy_name;
   core::MetricsCollector metrics;
   double wall_seconds = 0.0;  // total decision-making time
+  // Populated by the audited overload; empty (clean, 0 slots) otherwise.
+  AuditReport audit;
 };
 
 // Runs `policy` over `states` with a deterministic rng seed. The policy is
 // reset() first.
 [[nodiscard]] SimulationResult run_policy(
     Policy& policy, const std::vector<core::SlotState>& states,
+    std::uint64_t seed = 1);
+
+// Same loop, with every slot fed through a SlotAuditor bound to `instance`
+// (the mode in `audit` decides how many are actually checked). Audit time is
+// excluded from wall_seconds, so audited and unaudited runs report
+// comparable decision-making cost.
+[[nodiscard]] SimulationResult run_policy(
+    Policy& policy, const core::Instance& instance,
+    const std::vector<core::SlotState>& states, const AuditConfig& audit,
     std::uint64_t seed = 1);
 
 // Convenience: averages of the last `window` slots (the paper averages over

@@ -1,0 +1,17 @@
+#include "util/build_info.h"
+
+#ifndef EOTORA_GIT_DESCRIBE
+#define EOTORA_GIT_DESCRIBE "unknown"
+#endif
+#ifndef EOTORA_BUILD_TYPE
+#define EOTORA_BUILD_TYPE "unknown"
+#endif
+
+namespace eotora::util {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{EOTORA_GIT_DESCRIBE, EOTORA_BUILD_TYPE};
+  return info;
+}
+
+}  // namespace eotora::util

@@ -1,0 +1,20 @@
+// Build attribution stamped into machine-readable artifacts.
+//
+// The values are baked in at CMake configure time (git describe and
+// CMAKE_BUILD_TYPE), so a JSON artifact can always be traced back to the
+// commit and build flavor that produced it. They go stale between
+// reconfigures of an existing build tree — rerun cmake to refresh.
+#pragma once
+
+#include <string>
+
+namespace eotora::util {
+
+struct BuildInfo {
+  std::string commit;      // `git describe --always --dirty`, or "unknown"
+  std::string build_type;  // CMAKE_BUILD_TYPE, or "unknown"
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+}  // namespace eotora::util

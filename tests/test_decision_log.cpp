@@ -1,0 +1,116 @@
+// DecisionLog: CSV round-trips, entries() accessors, and save() error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/dpp.h"
+#include "sim/decision_log.h"
+#include "test_helpers.h"
+
+namespace eotora {
+namespace {
+
+core::DppSlotResult slot_result(double latency, double cost, double queue,
+                                std::vector<double> freq) {
+  core::DppSlotResult result;
+  result.decision.frequencies = std::move(freq);
+  result.latency = latency;
+  result.energy_cost = cost;
+  result.theta = cost - 1.0;
+  result.queue_after = queue;
+  return result;
+}
+
+sim::DecisionLog sample_log() {
+  sim::DecisionLog log;
+  core::SlotState state = test::uniform_state(3, 2);
+  state.slot = 0;
+  state.price_per_mwh = 42.5;
+  log.record(state, slot_result(0.125, 1.75, 0.75, {1.8, 2.7, 3.6}));
+  state.slot = 1;
+  state.price_per_mwh = 61.0 / 7.0;  // not exactly representable in decimal
+  log.record(state, slot_result(1.0 / 3.0, 0.9, 0.0, {2.0, 2.0, 2.0}));
+  return log;
+}
+
+TEST(DecisionLog, RecordTracksRowsAndFrequencyStats) {
+  const sim::DecisionLog log = sample_log();
+  ASSERT_EQ(log.rows(), 2u);
+  const auto& rows = log.entries();
+  EXPECT_EQ(rows[0].slot, 0u);
+  EXPECT_DOUBLE_EQ(rows[0].price, 42.5);
+  EXPECT_DOUBLE_EQ(rows[0].min_ghz, 1.8);
+  EXPECT_DOUBLE_EQ(rows[0].max_ghz, 3.6);
+  EXPECT_DOUBLE_EQ(rows[0].mean_ghz, (1.8 + 2.7 + 3.6) / 3.0);
+  EXPECT_DOUBLE_EQ(rows[1].latency, 1.0 / 3.0);
+}
+
+TEST(DecisionLog, CsvRoundTripReproducesEveryRowExactly) {
+  const sim::DecisionLog log = sample_log();
+  const sim::DecisionLog back = sim::DecisionLog::from_csv(log.to_csv());
+  ASSERT_EQ(back.rows(), log.rows());
+  for (std::size_t i = 0; i < log.rows(); ++i) {
+    EXPECT_EQ(back.entries()[i], log.entries()[i]) << "row " << i;
+  }
+  // And the re-serialized text is identical (precision 17 round-trips).
+  EXPECT_EQ(back.to_csv(), log.to_csv());
+}
+
+TEST(DecisionLog, SaveThenLoadRoundTrips) {
+  const sim::DecisionLog log = sample_log();
+  const std::string path = "test_decision_log_roundtrip.csv";
+  log.save(path);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const sim::DecisionLog back = sim::DecisionLog::from_csv(text);
+  ASSERT_EQ(back.rows(), log.rows());
+  EXPECT_EQ(back.entries(), log.entries());
+  std::remove(path.c_str());
+}
+
+TEST(DecisionLog, FromCsvRejectsMalformedInput) {
+  EXPECT_THROW(sim::DecisionLog::from_csv(""), std::invalid_argument);
+  EXPECT_THROW(sim::DecisionLog::from_csv("wrong,header\n1,2\n"),
+               std::invalid_argument);
+  const std::string header =
+      "slot,price,latency,energy_cost,theta,queue,mean_ghz,min_ghz,max_ghz\n";
+  EXPECT_THROW(sim::DecisionLog::from_csv(header + "1,2,3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sim::DecisionLog::from_csv(header + "0,1,2,3,4,5,6,7,oops\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sim::DecisionLog::from_csv(header + "-1,1,2,3,4,5,6,7,8\n"),
+      std::invalid_argument);
+  // A well-formed document with a trailing newline parses fine.
+  EXPECT_EQ(sim::DecisionLog::from_csv(header + "0,1,2,3,4,5,6,7,8\n").rows(),
+            1u);
+}
+
+TEST(DecisionLog, SaveErrorsNameThePath) {
+  const sim::DecisionLog log = sample_log();
+  const std::string bad_path = "/nonexistent-dir/decision_log.csv";
+  try {
+    log.save(bad_path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(bad_path), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(DecisionLog, EmptyLogRefusesToSerialize) {
+  const sim::DecisionLog empty;
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_THROW(empty.to_csv(), std::invalid_argument);
+  EXPECT_THROW(empty.save("test_decision_log_empty.csv"),
+               std::invalid_argument);
+  // The failed save must not leave a file behind.
+  std::ifstream check("test_decision_log_empty.csv");
+  EXPECT_FALSE(check.good());
+}
+
+}  // namespace
+}  // namespace eotora

@@ -32,13 +32,34 @@ TEST(Registry, ListsTheExpectedNames) {
   const auto names = registered_policies();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const char* expected :
-       {"dpp-bdma", "dpp-mcba", "dpp-ropt", "greedy-budget",
+       {"beta-only", "dpp-bdma", "dpp-mcba", "dpp-ropt", "greedy-budget",
         "fixed-frequency", "fixed-max", "fixed-min", "mpc"}) {
     EXPECT_TRUE(is_registered_policy(expected)) << expected;
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(Registry, PolicyTracksQueueOnlyForTheDppFamily) {
+  for (const auto& name : registered_policies()) {
+    const bool expected = name.rfind("dpp-", 0) == 0;
+    EXPECT_EQ(policy_tracks_queue(name), expected) << name;
+  }
+  EXPECT_FALSE(policy_tracks_queue("beta-only"));
+  EXPECT_TRUE(policy_tracks_queue("dpp-bdma"));
+}
+
+TEST(Registry, BetaOnlyPolicyRespectsTheBudgetOracleShape) {
+  Scenario scenario(tiny());
+  const auto states = scenario.generate_states(3);
+  auto policy = make_policy("beta-only", scenario.instance(), fast_params());
+  EXPECT_EQ(policy->name(), "Beta-only (per-slot budget)");
+  const auto result = run_policy(*policy, states, 5);
+  EXPECT_EQ(result.metrics.slots(), 3u);
+  EXPECT_GT(result.metrics.average_latency(), 0.0);
+  // Queue-free: the backlog series stays identically zero.
+  EXPECT_DOUBLE_EQ(result.metrics.average_queue(), 0.0);
 }
 
 TEST(Registry, EveryRegisteredNameBuildsAWorkingPolicy) {

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "util/build_info.h"
+
 namespace eotora::sim {
 namespace {
 
@@ -81,6 +83,65 @@ TEST(Runner, TwoAxisSweepIsIdenticalAcrossThreadCounts) {
   // stripped (record order, axis values, every metric).
   EXPECT_EQ(strip_timing(serial.to_json()).dump(),
             strip_timing(parallel.to_json()).dump());
+}
+
+TEST(Runner, SweepRecordsAreByteIdenticalAcrossThreadsAndReruns) {
+  // The determinism contract in full: --threads 1 vs --threads 8, and two
+  // identical same-seed invocations, all dump the same artifact bytes once
+  // the documented wall-clock fields are stripped.
+  const auto serial = run_sweep(small_two_axis_spec(), 1);
+  const auto wide = run_sweep(small_two_axis_spec(), 8);
+  const auto rerun = run_sweep(small_two_axis_spec(), 8);
+  const std::string baseline = strip_timing(serial.to_json()).dump();
+  EXPECT_EQ(baseline, strip_timing(wide.to_json()).dump());
+  EXPECT_EQ(baseline, strip_timing(rerun.to_json()).dump());
+}
+
+TEST(Runner, ArtifactCarriesBuildProvenance) {
+  SweepSpec spec = small_two_axis_spec();
+  spec.axes.clear();
+  spec.horizon = 4;
+  spec.window = 4;
+  const auto doc = run_sweep(spec, 1).to_json();
+  ASSERT_TRUE(doc.contains("commit"));
+  ASSERT_TRUE(doc.contains("build_type"));
+  EXPECT_EQ(doc.at("commit").as_string(), util::build_info().commit);
+  EXPECT_EQ(doc.at("build_type").as_string(), util::build_info().build_type);
+  EXPECT_FALSE(doc.at("commit").as_string().empty());
+}
+
+TEST(Runner, AuditedSweepIsCleanAcrossPolicyFamilies) {
+  SweepSpec spec;
+  spec.name = "audited";
+  spec.base = tiny();
+  // One queue-tracking policy and two queue-free ones: the runner must
+  // narrow check_queue per policy on its own.
+  spec.policies = {"dpp-bdma", "greedy-budget", "beta-only"};
+  spec.params.bdma_iterations = 1;
+  spec.horizon = 6;
+  spec.window = 3;
+  spec.audit.mode = AuditMode::kEverySlot;
+  const auto result = run_sweep(spec, 2);
+  EXPECT_EQ(result.audit_mode, AuditMode::kEverySlot);
+  ASSERT_EQ(result.cells.size(), 3u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.audited_slots, spec.horizon) << cell.policy;
+    EXPECT_EQ(cell.audit_violations, 0u) << cell.policy;
+  }
+  const auto doc = result.to_json();
+  EXPECT_EQ(doc.at("audit_mode").as_string(), "every-slot");
+  for (std::size_t i = 0; i < doc.at("records").size(); ++i) {
+    const auto& record = doc.at("records").at(i);
+    EXPECT_EQ(record.at("audit_violations").as_number(), 0.0);
+    EXPECT_GT(record.at("audited_slots").as_number(), 0.0);
+  }
+
+  // An unaudited sweep omits the audit keys entirely (schema stability).
+  SweepSpec plain = spec;
+  plain.audit.mode = AuditMode::kOff;
+  const auto plain_doc = run_sweep(plain, 1).to_json();
+  EXPECT_FALSE(plain_doc.contains("audit_mode"));
+  EXPECT_FALSE(plain_doc.at("records").at(0).contains("audit_violations"));
 }
 
 TEST(Runner, SeedsAggregateAndReportCi) {

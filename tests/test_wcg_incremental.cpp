@@ -17,9 +17,13 @@
 #include <vector>
 
 #include "core/cgba.h"
+#include "core/dpp.h"
+#include "core/latency.h"
+#include "core/lemma1.h"
 #include "core/mcba.h"
 #include "core/wcg.h"
 #include "energy/quadratic_energy.h"
+#include "sim/audit.h"
 #include "test_helpers.h"
 #include "topology/builder.h"
 #include "util/rng.h"
@@ -295,6 +299,48 @@ TEST_P(OracleEquivalence, McbaFastEqualsNaive) {
   ASSERT_EQ(a.iterations, b.iterations);
   ASSERT_EQ(a.profile, b.profile);
   ASSERT_EQ(a.cost, b.cost);
+}
+
+// Every equilibrium CGBA/MCBA reach on a fuzzed instance, packaged as a
+// full slot decision (Lemma-1 allocation + recomputed metrics), must pass
+// the P1 feasibility audit with zero violations — the fast path cannot buy
+// speed with infeasible profiles.
+TEST_P(OracleEquivalence, SolverProfilesPassTheFeasibilityAudit) {
+  util::Rng rng(100'000 + GetParam());
+  const auto topo = random_topology(rng);
+  const std::size_t devices = topo->num_devices();
+  Instance instance(topo,
+                    Instance::random_sigma(devices, topo->num_servers(), rng),
+                    rng.uniform(0.1, 5.0));
+  const SlotState state = random_sparse_state(*topo, rng);
+  const Frequencies freq = rng.bernoulli(0.5) ? instance.max_frequencies()
+                                              : instance.min_frequencies();
+  const WcgProblem problem(instance, state, freq);
+
+  const SolveResult cgba_result = cgba(problem, {}, rng);
+  McbaConfig mcba_config;
+  mcba_config.iterations = 500;
+  const SolveResult mcba_result = mcba(problem, mcba_config, rng);
+
+  for (const SolveResult* solved : {&cgba_result, &mcba_result}) {
+    DppSlotResult slot;
+    slot.decision.assignment = problem.to_assignment(solved->profile);
+    slot.decision.frequencies = freq;
+    slot.decision.allocation =
+        optimal_allocation(instance, state, slot.decision.assignment);
+    slot.latency = latency_under_allocation(instance, state,
+                                            slot.decision.assignment, freq,
+                                            slot.decision.allocation);
+    slot.energy_cost = instance.energy_cost(freq, state.price_per_mwh);
+    slot.theta = slot.energy_cost - instance.budget_per_slot();
+    slot.queue_after = std::max(slot.theta, 0.0);
+    const sim::AuditReport report = sim::audit_slot(instance, state, slot);
+    ASSERT_TRUE(report.clean()) << report.summary();
+    // The WCG social cost IS the reduced latency of the profile.
+    const double scale = std::max({slot.latency, solved->cost, 1.0});
+    ASSERT_NEAR(problem.total_cost(solved->profile), slot.latency,
+                1e-9 * scale);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OracleEquivalence, ::testing::Range(0, 25));
