@@ -38,6 +38,37 @@ Fixture& fixture() {
   return f;
 }
 
+// Streaming state generation: the value-returning next_state() builds
+// fresh per-device vectors and a fresh channel matrix every slot; the
+// in-place overload refills the caller's buffer (sim::ScenarioSource's
+// steady state — no per-slot allocations once the shapes stabilize). Both
+// draw the same RNG stream, so only allocation behavior differs.
+void BM_ScenarioNextStateAlloc(benchmark::State& bench) {
+  sim::ScenarioConfig config;
+  config.devices = 100;
+  config.seed = 777;
+  sim::Scenario scenario(config);
+  for (auto _ : bench) {
+    core::SlotState state = scenario.next_state();
+    benchmark::DoNotOptimize(state.price_per_mwh);
+  }
+}
+BENCHMARK(BM_ScenarioNextStateAlloc);
+
+void BM_ScenarioNextStateInPlace(benchmark::State& bench) {
+  sim::ScenarioConfig config;
+  config.devices = 100;
+  config.seed = 777;
+  sim::Scenario scenario(config);
+  core::SlotState state;
+  scenario.next_state(state);  // settle the buffer shapes
+  for (auto _ : bench) {
+    scenario.next_state(state);
+    benchmark::DoNotOptimize(state.price_per_mwh);
+  }
+}
+BENCHMARK(BM_ScenarioNextStateInPlace);
+
 void BM_WcgConstruction(benchmark::State& bench) {
   auto& f = fixture();
   const auto& instance = f.scenario->instance();

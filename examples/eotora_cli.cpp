@@ -6,6 +6,7 @@
 //   $ ./examples/eotora_cli --policy=bdma --v=200 --days=7 --budget=1.1
 //   $ ./examples/eotora_cli --policy=greedy --devices=60 --record=run.csv
 //   $ ./examples/eotora_cli --policy=mcba --replay=run.csv
+//   $ ./examples/eotora_cli --policy=bdma --devices=50 --horizon=100000 --stream
 #include <iostream>
 #include <memory>
 
@@ -24,6 +25,7 @@ options (all --key=value):
              mpc), or the short aliases bdma | mcba | ropt | greedy  [bdma]
   --devices  number of mobile devices                             [100]
   --days     horizon in days (24 slots each)                      [7]
+  --horizon  horizon in slots (overrides --days)
   --budget   energy budget in $ per slot                          [1.0]
   --v        DPP penalty weight V                                 [100]
   --q0       initial queue backlog Q(1)                           [0]
@@ -32,6 +34,12 @@ options (all --key=value):
   --record   write the generated state trace to this CSV path
   --replay   read states from this CSV instead of generating
   --log      write a per-slot decision log (CSV) to this path
+  --stream   pull states one slot at a time instead of materializing
+             the horizon: memory stays O(devices x stations) no matter
+             how long the run, and only aggregate metrics are kept
+             (results are bit-identical to the materialized mode)
+  --prefetch with --stream: generate the next state on a background
+             thread while the policy decides the current slot
   --audit    re-validate every slot against the P1 constraint set
              (sim/audit.h): "every" (default when the flag is bare),
              "sample" (every 16th slot), or "off"; exits 3 on violations
@@ -79,9 +87,9 @@ int main(int argc, char** argv) {
   using namespace eotora;
   try {
     const util::Args args(argc, argv,
-                          {"policy", "devices", "days", "budget", "v", "q0",
-                           "z", "seed", "record", "replay", "log", "audit",
-                           "help"});
+                          {"policy", "devices", "days", "horizon", "budget",
+                           "v", "q0", "z", "seed", "record", "replay", "log",
+                           "stream", "prefetch", "audit", "help"});
     if (args.has("help")) {
       print_usage();
       return 0;
@@ -91,22 +99,15 @@ int main(int argc, char** argv) {
     config.devices = static_cast<std::size_t>(args.get_int("devices", 100));
     config.budget_per_slot = args.get_double("budget", 1.0);
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-    sim::Scenario scenario(config);
-    sim::print_scenario(std::cout, scenario);
+    const auto days = static_cast<std::size_t>(args.get_int("days", 7));
+    const std::size_t horizon =
+        args.has("horizon")
+            ? static_cast<std::size_t>(args.get_int("horizon", 0))
+            : 24 * days;
 
-    std::vector<core::SlotState> states;
-    if (args.has("replay")) {
-      states = sim::load_states(args.get("replay", ""));
-      std::cout << "replaying " << states.size() << " slots from "
-                << args.get("replay", "") << "\n";
-    } else {
-      const auto days = static_cast<std::size_t>(args.get_int("days", 7));
-      states = scenario.generate_states(24 * days);
-    }
-    if (args.has("record")) {
-      sim::save_states(args.get("record", ""), states);
-      std::cout << "recorded " << states.size() << " slots to "
-                << args.get("record", "") << "\n";
+    const bool stream = args.has("stream");
+    if (args.has("prefetch") && !stream) {
+      throw std::invalid_argument("--prefetch requires --stream");
     }
 
     // Policies come from the registry; the historical short names stay as
@@ -120,14 +121,6 @@ int main(int argc, char** argv) {
     params.v = args.get_double("v", 100.0);
     params.initial_queue = args.get_double("q0", 0.0);
     params.bdma_iterations = static_cast<std::size_t>(args.get_int("z", 5));
-    std::unique_ptr<sim::Policy> policy;
-    try {
-      policy = sim::make_policy(policy_name, scenario.instance(), params);
-    } catch (const std::invalid_argument& error) {
-      std::cerr << error.what() << "\n";
-      print_usage();
-      return 2;
-    }
 
     sim::AuditConfig audit;
     audit.mode = sim::AuditMode::kOff;
@@ -136,14 +129,105 @@ int main(int argc, char** argv) {
     }
     const bool auditing = audit.mode != sim::AuditMode::kOff;
 
+    // Build the state provider. Streaming mode keeps exactly one Scenario
+    // alive (inside the ScenarioSource) and never materializes the horizon;
+    // the materialized branch below is the historical behavior.
+    std::unique_ptr<sim::Scenario> replay_world;  // instance for --replay
+    std::unique_ptr<sim::ScenarioSource> scenario_source;
+    std::unique_ptr<sim::ReplaySource> replay_source;
+    std::unique_ptr<sim::RecordingSource> recording_source;
+    std::unique_ptr<sim::PrefetchSource> prefetch_source;
+    sim::StateSource* source = nullptr;
+    const core::Instance* instance = nullptr;
+    std::vector<core::SlotState> states;  // materialized mode only
+
+    if (stream) {
+      if (args.has("replay")) {
+        replay_world = std::make_unique<sim::Scenario>(config);
+        sim::print_scenario(std::cout, *replay_world);
+        replay_source =
+            std::make_unique<sim::ReplaySource>(args.get("replay", ""));
+        if (replay_source->devices() != config.devices) {
+          throw std::invalid_argument(
+              "replay file has " + std::to_string(replay_source->devices()) +
+              " devices but the scenario has " +
+              std::to_string(config.devices) + "; pass matching --devices");
+        }
+        source = replay_source.get();
+        instance = &replay_world->instance();
+        std::cout << "streaming replay from " << args.get("replay", "")
+                  << "\n";
+      } else {
+        scenario_source = std::make_unique<sim::ScenarioSource>(config, horizon);
+        sim::print_scenario(std::cout, scenario_source->scenario());
+        source = scenario_source.get();
+        instance = &scenario_source->instance();
+      }
+      if (args.has("record")) {
+        recording_source = std::make_unique<sim::RecordingSource>(
+            *source, args.get("record", ""));
+        source = recording_source.get();
+      }
+      if (args.has("prefetch")) {
+        prefetch_source = std::make_unique<sim::PrefetchSource>(*source);
+        source = prefetch_source.get();
+      }
+    } else {
+      replay_world = std::make_unique<sim::Scenario>(config);
+      sim::print_scenario(std::cout, *replay_world);
+      instance = &replay_world->instance();
+      if (args.has("replay")) {
+        states = sim::load_states(args.get("replay", ""));
+        std::cout << "replaying " << states.size() << " slots from "
+                  << args.get("replay", "") << "\n";
+      } else {
+        states = replay_world->generate_states(horizon);
+      }
+      if (args.has("record")) {
+        sim::save_states(args.get("record", ""), states);
+        std::cout << "recorded " << states.size() << " slots to "
+                  << args.get("record", "") << "\n";
+      }
+    }
+
+    std::unique_ptr<sim::Policy> policy;
+    try {
+      policy = sim::make_policy(policy_name, *instance, params);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
+      print_usage();
+      return 2;
+    }
+
     sim::SimulationResult result;
-    if (args.has("log")) {
+    if (args.has("log") && stream) {
+      // Manual streaming loop: each slot is logged straight to disk (and
+      // audited in-line); only aggregates are kept in memory.
+      policy->reset();
+      util::Rng rng(1);
+      result.policy_name = policy->name();
+      result.metrics.set_keep_series(false);
+      sim::DecisionLogWriter log(args.get("log", ""));
+      sim::SlotAuditor auditor(*instance, audit);
+      core::SlotState state;
+      util::Timer timer;
+      while (source->next(state)) {
+        const auto slot = policy->step(state, rng);
+        result.metrics.record(slot);
+        log.record(state, slot);
+        if (auditing) auditor.observe(state, slot);
+      }
+      result.wall_seconds = timer.elapsed_seconds();
+      result.audit = auditor.report();
+      log.close();
+      std::cout << "wrote per-slot log to " << args.get("log", "") << "\n";
+    } else if (args.has("log")) {
       // Manual loop so each slot can be logged (and audited in-line).
       policy->reset();
       util::Rng rng(1);
       result.policy_name = policy->name();
       sim::DecisionLog log;
-      sim::SlotAuditor auditor(scenario.instance(), audit);
+      sim::SlotAuditor auditor(*instance, audit);
       util::Timer timer;
       for (const auto& state : states) {
         const auto slot = policy->step(state, rng);
@@ -155,8 +239,20 @@ int main(int argc, char** argv) {
       result.audit = auditor.report();
       log.save(args.get("log", ""));
       std::cout << "wrote per-slot log to " << args.get("log", "") << "\n";
+    } else if (stream) {
+      // keep_series=false keeps the run O(1) in the horizon; the printed
+      // comparison only needs the aggregates.
+      result = auditing
+                   ? sim::run_policy(*policy, *instance, *source, audit, 1,
+                                     /*keep_series=*/false)
+                   : sim::run_policy(*policy, *source, 1,
+                                     /*keep_series=*/false);
+      if (recording_source != nullptr) {
+        std::cout << "recorded " << result.metrics.slots() << " slots to "
+                  << args.get("record", "") << "\n";
+      }
     } else if (auditing) {
-      result = sim::run_policy(*policy, scenario.instance(), states, audit);
+      result = sim::run_policy(*policy, *instance, states, audit);
     } else {
       result = sim::run_policy(*policy, states);
     }

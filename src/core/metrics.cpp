@@ -1,5 +1,8 @@
 #include "core/metrics.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "util/check.h"
 
 namespace eotora::core {
@@ -9,12 +12,34 @@ void MetricsCollector::record(const DppSlotResult& slot) {
   cost_.add(slot.energy_cost);
   queue_.add(slot.queue_after);
   theta_.add(slot.theta);
-  latency_series_.push_back(slot.latency);
-  queue_series_.push_back(slot.queue_after);
-  cost_series_.push_back(slot.energy_cost);
+  if (keep_series_) {
+    latency_series_.push_back(slot.latency);
+    queue_series_.push_back(slot.queue_after);
+    cost_series_.push_back(slot.energy_cost);
+  }
+}
+
+void MetricsCollector::set_keep_series(bool keep) {
+  EOTORA_REQUIRE_MSG(slots() == 0,
+                     "set_keep_series must be chosen before recording; "
+                         << slots() << " slots already recorded");
+  keep_series_ = keep;
+}
+
+void MetricsCollector::reserve(std::size_t slots) {
+  if (!keep_series_) return;
+  latency_series_.reserve(slots);
+  queue_series_.reserve(slots);
+  cost_series_.reserve(slots);
 }
 
 double MetricsCollector::latency_percentile(double q) const {
+  if (!keep_series_) {
+    throw std::logic_error(
+        "MetricsCollector::latency_percentile requires the per-slot series, "
+        "but set_keep_series(false) disabled them (" +
+        std::to_string(slots()) + " slots aggregated)");
+  }
   EOTORA_REQUIRE(!latency_series_.empty());
   return util::percentile(latency_series_, q);
 }

@@ -4,13 +4,28 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/check.h"
 
 namespace eotora::sim {
 
-void DecisionLog::record(const core::SlotState& state,
-                         const core::DppSlotResult& slot) {
+namespace {
+
+constexpr const char* kHeader =
+    "slot,price,latency,energy_cost,theta,queue,mean_ghz,min_ghz,max_ghz";
+
+// The stream must already carry precision(17).
+void append_row(std::ostream& os, const DecisionLog::Row& row) {
+  os << row.slot << ',' << row.price << ',' << row.latency << ','
+     << row.energy_cost << ',' << row.theta << ',' << row.queue << ','
+     << row.mean_ghz << ',' << row.min_ghz << ',' << row.max_ghz << '\n';
+}
+
+}  // namespace
+
+DecisionLog::Row DecisionLog::make_row(const core::SlotState& state,
+                                       const core::DppSlotResult& slot) {
   Row row;
   row.slot = state.slot;
   row.price = state.price_per_mwh;
@@ -25,20 +40,20 @@ void DecisionLog::record(const core::SlotState& state,
   double sum = 0.0;
   for (double w : freq) sum += w;
   row.mean_ghz = sum / static_cast<double>(freq.size());
-  rows_.push_back(row);
+  return row;
+}
+
+void DecisionLog::record(const core::SlotState& state,
+                         const core::DppSlotResult& slot) {
+  rows_.push_back(make_row(state, slot));
 }
 
 std::string DecisionLog::to_csv() const {
   EOTORA_REQUIRE_MSG(!rows_.empty(), "decision log is empty");
   std::ostringstream oss;
   oss.precision(17);
-  oss << "slot,price,latency,energy_cost,theta,queue,mean_ghz,min_ghz,"
-         "max_ghz\n";
-  for (const Row& row : rows_) {
-    oss << row.slot << ',' << row.price << ',' << row.latency << ','
-        << row.energy_cost << ',' << row.theta << ',' << row.queue << ','
-        << row.mean_ghz << ',' << row.min_ghz << ',' << row.max_ghz << '\n';
-  }
+  oss << kHeader << '\n';
+  for (const Row& row : rows_) append_row(oss, row);
   return oss.str();
 }
 
@@ -48,9 +63,7 @@ DecisionLog DecisionLog::from_csv(const std::string& csv) {
   if (!std::getline(in, line)) {
     throw std::invalid_argument("DecisionLog::from_csv: empty input");
   }
-  const std::string expected_header =
-      "slot,price,latency,energy_cost,theta,queue,mean_ghz,min_ghz,max_ghz";
-  if (line != expected_header) {
+  if (line != kHeader) {
     throw std::invalid_argument("DecisionLog::from_csv: bad header '" + line +
                                 "'");
   }
@@ -118,6 +131,45 @@ void DecisionLog::save(const std::string& path) const {
     throw std::runtime_error("DecisionLog::save: write to '" + path +
                              "' failed");
   }
+}
+
+DecisionLogWriter::DecisionLogWriter(std::string path)
+    : path_(std::move(path)) {}
+
+DecisionLogWriter::~DecisionLogWriter() {
+  if (!closed_ && rows_ > 0) {
+    out_.flush();  // best effort; use close() for checked completion
+  }
+}
+
+void DecisionLogWriter::record(const core::SlotState& state,
+                               const core::DppSlotResult& slot) {
+  EOTORA_REQUIRE_MSG(!closed_,
+                     "DecisionLogWriter('" << path_ << "') is closed");
+  if (rows_ == 0) {
+    out_.open(path_);
+    if (!out_) {
+      throw std::runtime_error("DecisionLogWriter: cannot open '" + path_ +
+                               "'");
+    }
+    out_.precision(17);
+    out_ << kHeader << '\n';
+  }
+  append_row(out_, DecisionLog::make_row(state, slot));
+  ++rows_;
+}
+
+void DecisionLogWriter::close() {
+  if (closed_) return;
+  EOTORA_REQUIRE_MSG(rows_ > 0, "DecisionLogWriter('" << path_
+                                                      << "') recorded no rows");
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("DecisionLogWriter: write to '" + path_ +
+                             "' failed");
+  }
+  out_.close();
+  closed_ = true;
 }
 
 }  // namespace eotora::sim

@@ -4,8 +4,13 @@
 // min_ghz, max_ghz — one row per simulated slot. from_csv() parses the
 // exact format to_csv() emits (precision 17 round-trips every double), so
 // a saved log can be reloaded and compared row-for-row in tests.
+//
+// DecisionLog accumulates rows in memory; DecisionLogWriter streams them
+// to disk one row at a time (for long streaming runs), producing
+// byte-identical files from the same inputs.
 #pragma once
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +41,11 @@ class DecisionLog {
     bool operator!=(const Row& other) const { return !(*this == other); }
   };
 
+  // Builds one CSV row from a simulated slot (frequency summary included).
+  // Shared by record() and DecisionLogWriter so both emit identical rows.
+  [[nodiscard]] static Row make_row(const core::SlotState& state,
+                                    const core::DppSlotResult& slot);
+
   void record(const core::SlotState& state, const core::DppSlotResult& slot);
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
@@ -55,6 +65,37 @@ class DecisionLog {
 
  private:
   std::vector<Row> rows_;
+};
+
+// Streams decision rows straight to disk — the O(1)-memory counterpart of
+// DecisionLog + save() for long streaming runs. The file is created and
+// the header written on the first record() (an unused writer leaves no
+// file behind); close() flushes and verifies the write. Output is
+// byte-identical to DecisionLog::save() on the same slot sequence, so
+// DecisionLog::from_csv parses it.
+class DecisionLogWriter {
+ public:
+  explicit DecisionLogWriter(std::string path);
+  ~DecisionLogWriter();
+
+  DecisionLogWriter(const DecisionLogWriter&) = delete;
+  DecisionLogWriter& operator=(const DecisionLogWriter&) = delete;
+
+  // Appends one row. Throws std::runtime_error when the file cannot be
+  // opened.
+  void record(const core::SlotState& state, const core::DppSlotResult& slot);
+
+  // Flushes and closes, throwing std::runtime_error on write failure.
+  // Idempotent; requires at least one recorded row.
+  void close();
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace eotora::sim

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "sim/policy.h"
+#include "sim/state_source.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -317,17 +318,17 @@ GoldenDivergence diff_golden(const GoldenTrace& expected,
 
 GoldenTrace record_golden_trace(const GoldenScenario& scenario,
                                 const std::string& policy_name) {
-  Scenario world(scenario.config);
-  const std::vector<core::SlotState> states =
-      world.generate_states(scenario.horizon);
+  // Stream states slot by slot (same RNG draws as generate_states, so
+  // recorded fixtures are byte-identical to the materialized era).
+  ScenarioSource source(scenario.config, scenario.horizon);
 
   std::unique_ptr<Policy> policy =
-      make_policy(policy_name, world.instance(), golden_policy_params());
+      make_policy(policy_name, source.instance(), golden_policy_params());
 
   AuditConfig audit_config;
   audit_config.mode = AuditMode::kEverySlot;
   audit_config.check_queue = policy_tracks_queue(policy_name);
-  SlotAuditor auditor(world.instance(), audit_config);
+  SlotAuditor auditor(source.instance(), audit_config);
 
   GoldenTrace trace;
   trace.scenario = scenario.name;
@@ -339,9 +340,10 @@ GoldenTrace record_golden_trace(const GoldenScenario& scenario,
   // Same per-run seed the simulator uses for replication 0 — a golden
   // trace must match a Simulator::run_policy run on the same states.
   util::Rng rng(1);
-  for (std::size_t t = 0; t < states.size(); ++t) {
-    const core::DppSlotResult result = policy->step(states[t], rng);
-    auditor.observe(states[t], result);
+  core::SlotState state;
+  for (std::size_t t = 0; source.next(state); ++t) {
+    const core::DppSlotResult result = policy->step(state, rng);
+    auditor.observe(state, result);
 
     GoldenSlot slot;
     slot.slot = t;

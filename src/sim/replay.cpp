@@ -1,115 +1,106 @@
 #include "sim/replay.h"
 
+#include <stdexcept>
 #include <string>
+#include <utility>
 
-#include "trace/trace_io.h"
+#include "sim/state_source.h"
 #include "util/check.h"
-#include "util/strings.h"
 
 namespace eotora::sim {
 
-namespace {
-
-std::string f_name(std::size_t i) { return "f_" + std::to_string(i); }
-std::string d_name(std::size_t i) { return "d_" + std::to_string(i); }
-std::string h_name(std::size_t i, std::size_t k) {
-  return "h_" + std::to_string(i) + "_" + std::to_string(k);
+std::string replay_column_f(std::size_t device) {
+  return "f_" + std::to_string(device);
 }
 
-}  // namespace
+std::string replay_column_d(std::size_t device) {
+  return "d_" + std::to_string(device);
+}
+
+std::string replay_column_h(std::size_t device, std::size_t base_station) {
+  return "h_" + std::to_string(device) + "_" + std::to_string(base_station);
+}
+
+ReplayWriter::ReplayWriter(std::string path) : path_(std::move(path)) {}
+
+ReplayWriter::~ReplayWriter() {
+  if (!closed_ && rows_ > 0) {
+    out_.flush();  // best effort; use close() for checked completion
+  }
+}
+
+void ReplayWriter::record(const core::SlotState& state) {
+  EOTORA_REQUIRE_MSG(!closed_, "ReplayWriter('" << path_ << "') is closed");
+  if (rows_ == 0) {
+    devices_ = state.task_cycles.size();
+    base_stations_ =
+        state.channel.empty() ? 0 : state.channel.front().size();
+    EOTORA_REQUIRE(devices_ > 0 && base_stations_ > 0);
+    out_.open(path_);
+    if (!out_) {
+      throw std::runtime_error("ReplayWriter: cannot open '" + path_ + "'");
+    }
+    out_.precision(17);
+    out_ << "slot,price";
+    for (std::size_t i = 0; i < devices_; ++i) {
+      out_ << ',' << replay_column_f(i);
+    }
+    for (std::size_t i = 0; i < devices_; ++i) {
+      out_ << ',' << replay_column_d(i);
+    }
+    for (std::size_t i = 0; i < devices_; ++i) {
+      for (std::size_t k = 0; k < base_stations_; ++k) {
+        out_ << ',' << replay_column_h(i, k);
+      }
+    }
+    out_ << '\n';
+  }
+  EOTORA_REQUIRE_MSG(state.task_cycles.size() == devices_ &&
+                         state.data_bits.size() == devices_ &&
+                         state.channel.size() == devices_,
+                     "inconsistent state shapes at slot " << state.slot);
+  out_ << static_cast<double>(state.slot) << ',' << state.price_per_mwh;
+  for (std::size_t i = 0; i < devices_; ++i) {
+    out_ << ',' << state.task_cycles[i];
+  }
+  for (std::size_t i = 0; i < devices_; ++i) {
+    out_ << ',' << state.data_bits[i];
+  }
+  for (std::size_t i = 0; i < devices_; ++i) {
+    EOTORA_REQUIRE(state.channel[i].size() == base_stations_);
+    for (std::size_t k = 0; k < base_stations_; ++k) {
+      out_ << ',' << state.channel[i][k];
+    }
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void ReplayWriter::close() {
+  if (closed_) return;
+  EOTORA_REQUIRE_MSG(rows_ > 0,
+                     "ReplayWriter('" << path_ << "') recorded no states");
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("ReplayWriter: write to '" + path_ + "' failed");
+  }
+  out_.close();
+  closed_ = true;
+}
 
 void save_states(const std::string& path,
                  const std::vector<core::SlotState>& states) {
   EOTORA_REQUIRE(!states.empty());
-  const std::size_t devices = states.front().task_cycles.size();
-  const std::size_t base_stations = states.front().channel.empty()
-                                        ? 0
-                                        : states.front().channel.front().size();
-  EOTORA_REQUIRE(devices > 0 && base_stations > 0);
-
-  std::vector<trace::Series> series;
-  series.push_back({"slot", {}});
-  series.push_back({"price", {}});
-  for (std::size_t i = 0; i < devices; ++i) series.push_back({f_name(i), {}});
-  for (std::size_t i = 0; i < devices; ++i) series.push_back({d_name(i), {}});
-  for (std::size_t i = 0; i < devices; ++i) {
-    for (std::size_t k = 0; k < base_stations; ++k) {
-      series.push_back({h_name(i, k), {}});
-    }
-  }
-
-  for (const auto& state : states) {
-    EOTORA_REQUIRE_MSG(state.task_cycles.size() == devices &&
-                           state.data_bits.size() == devices &&
-                           state.channel.size() == devices,
-                       "inconsistent state shapes at slot " << state.slot);
-    std::size_t column = 0;
-    series[column++].values.push_back(static_cast<double>(state.slot));
-    series[column++].values.push_back(state.price_per_mwh);
-    for (std::size_t i = 0; i < devices; ++i) {
-      series[column++].values.push_back(state.task_cycles[i]);
-    }
-    for (std::size_t i = 0; i < devices; ++i) {
-      series[column++].values.push_back(state.data_bits[i]);
-    }
-    for (std::size_t i = 0; i < devices; ++i) {
-      EOTORA_REQUIRE(state.channel[i].size() == base_stations);
-      for (std::size_t k = 0; k < base_stations; ++k) {
-        series[column++].values.push_back(state.channel[i][k]);
-      }
-    }
-  }
-  trace::save_csv(path, series);
+  ReplayWriter writer(path);
+  for (const auto& state : states) writer.record(state);
+  writer.close();
 }
 
 std::vector<core::SlotState> load_states(const std::string& path) {
-  const auto series = trace::load_csv(path);
-  EOTORA_REQUIRE_MSG(series.size() >= 4, "replay file has too few columns");
-  EOTORA_REQUIRE_MSG(series[0].name == "slot" && series[1].name == "price",
-                     "replay file does not start with slot,price columns");
-  // Infer the shape from the header names.
-  std::size_t devices = 0;
-  while (2 + devices < series.size() &&
-         series[2 + devices].name == f_name(devices)) {
-    ++devices;
-  }
-  EOTORA_REQUIRE_MSG(devices > 0, "replay file has no f_i columns");
-  for (std::size_t i = 0; i < devices; ++i) {
-    EOTORA_REQUIRE_MSG(series[2 + devices + i].name == d_name(i),
-                       "replay file d_i columns malformed");
-  }
-  const std::size_t h_start = 2 + 2 * devices;
-  const std::size_t h_columns = series.size() - h_start;
-  EOTORA_REQUIRE_MSG(h_columns % devices == 0,
-                     "replay file h columns not divisible by device count");
-  const std::size_t base_stations = h_columns / devices;
-  EOTORA_REQUIRE_MSG(base_stations > 0, "replay file has no h columns");
-  for (std::size_t i = 0; i < devices; ++i) {
-    for (std::size_t k = 0; k < base_stations; ++k) {
-      EOTORA_REQUIRE_MSG(
-          series[h_start + i * base_stations + k].name == h_name(i, k),
-          "replay file h columns malformed at device " << i);
-    }
-  }
-
-  const std::size_t horizon = series[0].values.size();
-  std::vector<core::SlotState> states(horizon);
-  for (std::size_t t = 0; t < horizon; ++t) {
-    core::SlotState& state = states[t];
-    state.slot = static_cast<std::size_t>(series[0].values[t]);
-    state.price_per_mwh = series[1].values[t];
-    state.task_cycles.resize(devices);
-    state.data_bits.resize(devices);
-    state.channel.assign(devices, std::vector<double>(base_stations, 0.0));
-    for (std::size_t i = 0; i < devices; ++i) {
-      state.task_cycles[i] = series[2 + i].values[t];
-      state.data_bits[i] = series[2 + devices + i].values[t];
-      for (std::size_t k = 0; k < base_stations; ++k) {
-        state.channel[i][k] =
-            series[h_start + i * base_stations + k].values[t];
-      }
-    }
-  }
+  ReplaySource source(path);
+  std::vector<core::SlotState> states;
+  core::SlotState state;
+  while (source.next(state)) states.push_back(state);
   return states;
 }
 

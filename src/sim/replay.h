@@ -5,8 +5,15 @@
 // replay it bit-exactly later — across machines, library versions, or
 // against a different policy. The CSV schema is wide and self-describing:
 //   slot, price, f_0..f_{I-1}, d_0..d_{I-1}, h_0_0..h_{I-1}_{K-1}
+//
+// Both directions stream in O(1) memory: ReplayWriter appends one row per
+// recorded state (sim::RecordingSource tees a live stream through it), and
+// sim::ReplaySource parses the file row by row. save_states/load_states are
+// thin materialized wrappers over those two.
 #pragma once
 
+#include <cstddef>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -14,13 +21,54 @@
 
 namespace eotora::sim {
 
+// Canonical replay column names, shared by the writer, the streaming
+// reader (sim::ReplaySource), and load_states' header validation.
+[[nodiscard]] std::string replay_column_f(std::size_t device);
+[[nodiscard]] std::string replay_column_d(std::size_t device);
+[[nodiscard]] std::string replay_column_h(std::size_t device,
+                                          std::size_t base_station);
+
+// Streams states to the replay CSV one row at a time. The file is created
+// and the header written on the first record() (an unused writer leaves no
+// file behind); the shape (devices, base stations) is locked in by that
+// first state and later records must match it. close() flushes and checks
+// for I/O errors; the destructor closes silently. Output is byte-identical
+// to save_states on the same sequence.
+class ReplayWriter {
+ public:
+  explicit ReplayWriter(std::string path);
+  ~ReplayWriter();
+
+  ReplayWriter(const ReplayWriter&) = delete;
+  ReplayWriter& operator=(const ReplayWriter&) = delete;
+
+  // Appends one state. Throws std::runtime_error when the file cannot be
+  // opened and std::invalid_argument on shape violations.
+  void record(const core::SlotState& state);
+
+  // Flushes and closes, throwing std::runtime_error on write failure.
+  // Idempotent; requires at least one recorded row.
+  void close();
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t devices_ = 0;
+  std::size_t base_stations_ = 0;
+  std::size_t rows_ = 0;
+  bool closed_ = false;
+};
+
 // Serializes states to the CSV schema above. Requires a non-empty,
 // shape-consistent sequence.
 void save_states(const std::string& path,
                  const std::vector<core::SlotState>& states);
 
-// Parses states back. Validates the header layout and throws
-// std::invalid_argument on schema or shape mismatches.
+// Parses states back (a full drain of sim::ReplaySource). Validates the
+// header layout and throws std::invalid_argument on schema or shape
+// mismatches, naming the offending 1-based line.
 [[nodiscard]] std::vector<core::SlotState> load_states(
     const std::string& path);
 

@@ -49,6 +49,14 @@ struct SweepSpec {
   std::size_t horizon = 24 * 12;
   std::size_t window = 48;  // tail-averaging window, <= horizon
   std::size_t seeds = 1;    // replications per cell; seed r uses base.seed+r
+  // Streaming mode: each cell pulls its states slot-by-slot through a
+  // sim::ScenarioSource instead of materializing the whole horizon, so a
+  // cell's memory is O(devices × stations) regardless of horizon. The
+  // state sequence is generated from the same seeds in the same order, so
+  // every deterministic result field is bit-identical to the materialized
+  // mode — policies "share" one generated stream per seed by replaying it
+  // deterministically (each cell re-seeds its own source).
+  bool stream = false;
   // Optional deterministic hook applied after the built-in axis mapping,
   // for couplings a single knob cannot express (e.g. the scaling bench
   // grows clusters with the device count). Must be a pure function of the
@@ -91,6 +99,7 @@ struct SweepResult {
   std::size_t horizon = 0;
   std::size_t window = 0;
   std::size_t seeds = 0;
+  bool stream = false;  // whether cells streamed their states
   AuditMode audit_mode = AuditMode::kOff;
   std::vector<SweepCell> cells;  // axis-major, policy-minor order
   double wall_seconds = 0.0;

@@ -143,18 +143,22 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
 }
 
 core::SlotState Scenario::next_state() {
+  core::SlotState state;
+  next_state(state);
+  return state;
+}
+
+void Scenario::next_state(core::SlotState& out) {
   if (waypoint_mobility_ != nullptr) {
     waypoint_mobility_->step(*topology_);
   } else {
     gauss_markov_mobility_->step(*topology_);
   }
-  core::SlotState state;
-  state.slot = slot_++;
-  state.task_cycles = task_trace_->next();
-  state.data_bits = data_trace_->next();
-  state.channel = channel_->step(*topology_);
-  state.price_per_mwh = price_trace_->next();
-  return state;
+  out.slot = slot_++;
+  task_trace_->next_into(out.task_cycles);
+  data_trace_->next_into(out.data_bits);
+  channel_->step_into(*topology_, out.channel);
+  out.price_per_mwh = price_trace_->next();
 }
 
 std::vector<core::SlotState> Scenario::generate_states(std::size_t horizon) {

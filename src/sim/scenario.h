@@ -69,6 +69,12 @@ class Scenario {
   // Advances mobility, channels, workloads, and price by one slot.
   [[nodiscard]] core::SlotState next_state();
 
+  // Same advance, refilling `out` in place. Identical RNG stream to
+  // next_state(), so both forms produce the same β sequence; the per-device
+  // vectors and the channel matrix reuse out's capacity, so a steady-state
+  // caller (sim::ScenarioSource) allocates nothing per slot.
+  void next_state(core::SlotState& out);
+
   // Draws the next `horizon` states.
   [[nodiscard]] std::vector<core::SlotState> generate_states(
       std::size_t horizon);

@@ -1,56 +1,101 @@
 #include "sim/simulator.h"
 
+#include <memory>
+#include <stdexcept>
+#include <string>
+
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace eotora::sim {
 
-SimulationResult run_policy(Policy& policy,
-                            const std::vector<core::SlotState>& states,
-                            std::uint64_t seed) {
-  EOTORA_REQUIRE(!states.empty());
+namespace {
+
+// The one streaming loop every run_policy overload funnels through. One
+// SlotState buffer is reused across the whole drain, so the loop itself
+// allocates nothing per slot once the source's shapes have stabilized.
+SimulationResult run_policy_stream(Policy& policy,
+                                   const core::Instance* instance,
+                                   StateSource& source,
+                                   const AuditConfig* audit,
+                                   std::uint64_t seed, bool keep_series) {
   policy.reset();
   util::Rng rng(seed);
   SimulationResult result;
   result.policy_name = policy.name();
-  util::Timer timer;
-  for (const auto& state : states) {
-    result.metrics.record(policy.step(state, rng));
+  result.metrics.set_keep_series(keep_series);
+  if (keep_series && source.size_hint() != StateSource::kUnknownSize) {
+    result.metrics.reserve(source.size_hint());
   }
-  result.wall_seconds = timer.elapsed_seconds();
+  std::unique_ptr<SlotAuditor> auditor;
+  if (audit != nullptr) {
+    auditor = std::make_unique<SlotAuditor>(*instance, *audit);
+  }
+  core::SlotState state;
+  double decision_seconds = 0.0;
+  util::Timer timer;
+  while (source.next(state)) {
+    timer.reset();
+    core::DppSlotResult slot = policy.step(state, rng);
+    decision_seconds += timer.elapsed_seconds();
+    if (auditor != nullptr) auditor->observe(state, slot);
+    result.metrics.record(slot);
+  }
+  EOTORA_REQUIRE_MSG(result.metrics.slots() > 0,
+                     "state source produced no slots");
+  result.wall_seconds = decision_seconds;
+  if (auditor != nullptr) result.audit = auditor->report();
   return result;
+}
+
+}  // namespace
+
+SimulationResult run_policy(Policy& policy, StateSource& source,
+                            std::uint64_t seed, bool keep_series) {
+  return run_policy_stream(policy, nullptr, source, nullptr, seed,
+                           keep_series);
+}
+
+SimulationResult run_policy(Policy& policy, const core::Instance& instance,
+                            StateSource& source, const AuditConfig& audit,
+                            std::uint64_t seed, bool keep_series) {
+  return run_policy_stream(policy, &instance, source, &audit, seed,
+                           keep_series);
+}
+
+SimulationResult run_policy(Policy& policy,
+                            const std::vector<core::SlotState>& states,
+                            std::uint64_t seed) {
+  EOTORA_REQUIRE(!states.empty());
+  MaterializedSource source(states);
+  return run_policy(policy, source, seed);
 }
 
 SimulationResult run_policy(Policy& policy, const core::Instance& instance,
                             const std::vector<core::SlotState>& states,
                             const AuditConfig& audit, std::uint64_t seed) {
   EOTORA_REQUIRE(!states.empty());
-  policy.reset();
-  util::Rng rng(seed);
-  SlotAuditor auditor(instance, audit);
-  SimulationResult result;
-  result.policy_name = policy.name();
-  double decision_seconds = 0.0;
-  for (const auto& state : states) {
-    util::Timer timer;
-    core::DppSlotResult slot = policy.step(state, rng);
-    decision_seconds += timer.elapsed_seconds();
-    auditor.observe(state, slot);
-    result.metrics.record(slot);
-  }
-  result.wall_seconds = decision_seconds;
-  result.audit = auditor.report();
-  return result;
+  MaterializedSource source(states);
+  return run_policy(policy, instance, source, audit, seed);
 }
 
 WindowAverages tail_averages(const SimulationResult& result,
                              std::size_t window) {
+  if (!result.metrics.keeps_series()) {
+    throw std::invalid_argument(
+        "tail_averages requires the per-slot series, but this run disabled "
+        "them (run_policy keep_series=false / "
+        "MetricsCollector::set_keep_series(false))");
+  }
   const auto& latency = result.metrics.latency_series();
   const auto& cost = result.metrics.cost_series();
   const auto& queue = result.metrics.queue_series();
   EOTORA_REQUIRE(window > 0);
-  EOTORA_REQUIRE_MSG(window <= latency.size(),
-                     "window=" << window << " slots=" << latency.size());
+  if (window > latency.size()) {
+    throw std::invalid_argument(
+        "tail_averages: window=" + std::to_string(window) +
+        " exceeds recorded slots=" + std::to_string(latency.size()));
+  }
   WindowAverages averages;
   for (std::size_t t = latency.size() - window; t < latency.size(); ++t) {
     averages.latency += latency[t];

@@ -1,8 +1,13 @@
 // The slot-driven simulation loop.
 //
-// run_policy() drives one policy across a pre-generated state sequence so
-// different policies can be compared on IDENTICAL inputs (as the paper's
-// Fig. 9 requires), collecting the per-slot and aggregate metrics.
+// run_policy() drives one policy across a state stream, collecting the
+// per-slot and aggregate metrics. The StateSource overloads are the
+// primary form: they pull one slot at a time into a reused buffer, so
+// memory stays O(1) in the horizon. The std::vector overloads wrap the
+// same loop over a MaterializedSource so different policies can be
+// compared on IDENTICAL inputs (as the paper's Fig. 9 requires); metrics
+// are bit-for-bit identical between the two forms on equal state
+// sequences.
 #pragma once
 
 #include <string>
@@ -12,34 +17,55 @@
 #include "core/metrics.h"
 #include "sim/audit.h"
 #include "sim/policy.h"
+#include "sim/state_source.h"
 
 namespace eotora::sim {
 
 struct SimulationResult {
   std::string policy_name;
   core::MetricsCollector metrics;
-  double wall_seconds = 0.0;  // total decision-making time
-  // Populated by the audited overload; empty (clean, 0 slots) otherwise.
+  // Total decision-making time: the summed per-slot policy.step() cost.
+  // State generation, prefetch, audit, and metric bookkeeping are excluded,
+  // so streaming and materialized runs report comparable numbers.
+  double wall_seconds = 0.0;
+  // Populated by the audited overloads; empty (clean, 0 slots) otherwise.
   AuditReport audit;
 };
 
-// Runs `policy` over `states` with a deterministic rng seed. The policy is
-// reset() first.
+// Drains `source` from its current position through `policy` with a
+// deterministic rng seed. The policy is reset() first; the source is NOT —
+// rewind it yourself if it was already partially consumed. Requires the
+// drain to produce at least one slot. With keep_series=false the per-slot
+// series are dropped as they stream (aggregates only), making the whole
+// run O(1) in the horizon.
+[[nodiscard]] SimulationResult run_policy(Policy& policy, StateSource& source,
+                                          std::uint64_t seed = 1,
+                                          bool keep_series = true);
+
+// Same loop, with every slot fed through a SlotAuditor bound to `instance`
+// (the mode in `audit` decides how many are actually checked). Audit time
+// is excluded from wall_seconds.
+[[nodiscard]] SimulationResult run_policy(Policy& policy,
+                                          const core::Instance& instance,
+                                          StateSource& source,
+                                          const AuditConfig& audit,
+                                          std::uint64_t seed = 1,
+                                          bool keep_series = true);
+
+// Materialized forms: run over a pre-generated state vector.
 [[nodiscard]] SimulationResult run_policy(
     Policy& policy, const std::vector<core::SlotState>& states,
     std::uint64_t seed = 1);
 
-// Same loop, with every slot fed through a SlotAuditor bound to `instance`
-// (the mode in `audit` decides how many are actually checked). Audit time is
-// excluded from wall_seconds, so audited and unaudited runs report
-// comparable decision-making cost.
 [[nodiscard]] SimulationResult run_policy(
     Policy& policy, const core::Instance& instance,
     const std::vector<core::SlotState>& states, const AuditConfig& audit,
     std::uint64_t seed = 1);
 
 // Convenience: averages of the last `window` slots (the paper averages over
-// 48-slot windows in Fig. 9). Requires window <= recorded slots.
+// 48-slot windows in Fig. 9). Requires the per-slot series (a run with
+// keep_series=false cannot answer this) and window <= recorded slots;
+// violations throw std::invalid_argument naming both values.
 struct WindowAverages {
   double latency = 0.0;
   double energy_cost = 0.0;

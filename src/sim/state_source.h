@@ -1,0 +1,212 @@
+// Pull-based streaming of slot states — the O(1)-memory spine of the
+// simulation pipeline.
+//
+// Every consumer of β_t (run_policy, the sweep runner, the golden recorder,
+// the CLI) used to materialize a whole horizon up front via
+// Scenario::generate_states(), so memory grew as O(horizon × devices ×
+// stations) before a single decision was made. StateSource inverts that:
+// the controller pulls one SlotState at a time into a caller-owned buffer
+// (observe β_t, decide α_t, discard), which is how the paper's online
+// controller actually operates and what long-horizon runs need.
+//
+// Implementations:
+//   ScenarioSource      wraps a Scenario; Scenario::next_state(SlotState&)
+//                       refills the per-device vectors and the channel
+//                       matrix in place, so the steady state allocates
+//                       nothing per slot. reset() rebuilds the Scenario
+//                       from its config — generation is deterministic in
+//                       the seed, so the replay is bit-identical (this is
+//                       the "replayable tee" the sweep runner leans on to
+//                       share one stream across policies).
+//   ReplaySource        streams the replay CSV (sim/replay.h schema) row by
+//                       row instead of slurping the file; errors name the
+//                       offending line.
+//   MaterializedSource  adapts an existing std::vector<SlotState>, so
+//                       Fig.-9-style identical-input comparisons and all
+//                       pre-generated call sites keep working unchanged.
+//   RecordingSource     tee: passes states through while appending them to
+//                       a replay CSV (streaming save_states).
+//   PrefetchSource      double-buffered producer: generates the next state
+//                       on a background thread while the consumer decides
+//                       the current slot. Output is bit-identical to the
+//                       wrapped source; only wall-clock overlap changes.
+//
+// Determinism contract: a StateSource is a pure position in a deterministic
+// stream. next() fills the buffer and advances; reset() rewinds to the
+// first slot; two drains of the same source (or of two sources built from
+// the same inputs) yield byte-identical state sequences.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/scenario.h"
+
+namespace eotora::sim {
+
+class ReplayWriter;  // sim/replay.h
+
+class StateSource {
+ public:
+  // size_hint() value when the remaining length is unknown (ReplaySource).
+  static constexpr std::size_t kUnknownSize = static_cast<std::size_t>(-1);
+
+  virtual ~StateSource() = default;
+
+  // Fills `out` with the next slot state and returns true, or returns false
+  // when the stream is exhausted (out is then unspecified). Implementations
+  // reuse out's capacity where possible, so callers should keep one buffer
+  // alive across the whole drain.
+  virtual bool next(core::SlotState& out) = 0;
+
+  // Rewinds to the first slot; the following drain repeats the exact same
+  // sequence.
+  virtual void reset() = 0;
+
+  // Total number of slots a full drain from the start produces, or
+  // kUnknownSize. Used to pre-size metric series; never required.
+  [[nodiscard]] virtual std::size_t size_hint() const { return kUnknownSize; }
+};
+
+// Adapts a pre-generated state vector. The const-reference constructor
+// merely views `states` (the caller keeps it alive); the rvalue constructor
+// takes ownership.
+class MaterializedSource final : public StateSource {
+ public:
+  explicit MaterializedSource(const std::vector<core::SlotState>& states);
+  explicit MaterializedSource(std::vector<core::SlotState>&& states);
+
+  bool next(core::SlotState& out) override;
+  void reset() override { index_ = 0; }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return states_->size();
+  }
+
+ private:
+  std::vector<core::SlotState> owned_;
+  const std::vector<core::SlotState>* states_;
+  std::size_t index_ = 0;
+};
+
+// Streams `horizon` states from a Scenario built from `config`, refilling
+// the buffer in place (no steady-state allocations). reset() rebuilds the
+// Scenario, which replays the identical sequence.
+class ScenarioSource final : public StateSource {
+ public:
+  ScenarioSource(const ScenarioConfig& config, std::size_t horizon);
+
+  bool next(core::SlotState& out) override;
+  void reset() override;
+  [[nodiscard]] std::size_t size_hint() const override { return horizon_; }
+
+  [[nodiscard]] const core::Instance& instance() const {
+    return scenario_->instance();
+  }
+  [[nodiscard]] const Scenario& scenario() const { return *scenario_; }
+  [[nodiscard]] std::size_t horizon() const { return horizon_; }
+
+ private:
+  ScenarioConfig config_;
+  std::size_t horizon_;
+  std::unique_ptr<Scenario> scenario_;
+  std::size_t produced_ = 0;
+};
+
+// Streams a replay CSV (the sim/replay.h wide schema) row by row in O(1)
+// memory. The header is validated up front; every schema or shape error
+// names the file and the 1-based line it was found on. Construction throws
+// std::runtime_error when the file cannot be opened and
+// std::invalid_argument on a malformed header.
+class ReplaySource final : public StateSource {
+ public:
+  explicit ReplaySource(const std::string& path);
+
+  bool next(core::SlotState& out) override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t devices() const { return devices_; }
+  [[nodiscard]] std::size_t base_stations() const { return base_stations_; }
+
+ private:
+  void open_and_parse_header();
+  [[nodiscard]] std::string column_name(std::size_t index) const;
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string path_;
+  std::ifstream in_;
+  std::size_t devices_ = 0;
+  std::size_t base_stations_ = 0;
+  std::size_t columns_ = 0;
+  std::size_t line_ = 0;  // 1-based; the header is line 1
+};
+
+// Tee: forwards `inner` unchanged while appending every state to a replay
+// CSV at `path` (the streaming equivalent of save_states). The file is
+// finalized when the stream is exhausted or the source is destroyed.
+// reset() resets the inner source and truncates the recording.
+class RecordingSource final : public StateSource {
+ public:
+  // `inner` must outlive this source.
+  RecordingSource(StateSource& inner, const std::string& path);
+  ~RecordingSource() override;
+
+  bool next(core::SlotState& out) override;
+  void reset() override;
+  [[nodiscard]] std::size_t size_hint() const override {
+    return inner_->size_hint();
+  }
+
+ private:
+  StateSource* inner_;
+  std::string path_;
+  std::unique_ptr<ReplayWriter> writer_;
+};
+
+// Double-buffered prefetch: a dedicated producer thread pulls from `inner`
+// into a small ring of recycled buffers while the consumer processes the
+// current slot, overlapping state generation with policy decisions. (A
+// dedicated thread rather than the shared util::ThreadPool because the
+// pool only exposes blocking fork-join parallelism, and a prefetcher must
+// outlive individual calls.) The delivered sequence is bit-identical to
+// draining `inner` directly; exceptions thrown by the producer are
+// rethrown from next(). Not thread-safe for concurrent next() callers.
+class PrefetchSource final : public StateSource {
+ public:
+  // `inner` must outlive this source. `depth` >= 1 buffers are kept in
+  // flight.
+  explicit PrefetchSource(StateSource& inner, std::size_t depth = 2);
+  ~PrefetchSource() override;
+
+  bool next(core::SlotState& out) override;
+  void reset() override;
+  [[nodiscard]] std::size_t size_hint() const override {
+    return inner_->size_hint();
+  }
+
+ private:
+  void start();
+  void stop();
+  void producer_loop();
+
+  StateSource* inner_;
+  std::size_t depth_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<core::SlotState> ready_;  // FIFO of filled buffers
+  std::vector<core::SlotState> free_;   // recycled empty buffers
+  bool exhausted_ = false;
+  bool stopping_ = false;
+  std::exception_ptr error_;
+  std::thread producer_;
+};
+
+}  // namespace eotora::sim

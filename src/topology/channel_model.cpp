@@ -35,9 +35,18 @@ ChannelModel::ChannelModel(const ChannelConfig& config,
 }
 
 ChannelMatrix ChannelModel::step(const Topology& topology) {
+  ChannelMatrix h;
+  step_into(topology, h);
+  return h;
+}
+
+void ChannelModel::step_into(const Topology& topology, ChannelMatrix& h) {
   EOTORA_REQUIRE(topology.num_devices() == num_devices_);
   EOTORA_REQUIRE(topology.num_base_stations() == num_base_stations_);
-  ChannelMatrix h(num_devices_, std::vector<double>(num_base_stations_, 0.0));
+  h.resize(num_devices_);
+  for (std::size_t i = 0; i < num_devices_; ++i) {
+    h[i].assign(num_base_stations_, 0.0);
+  }
   for (std::size_t i = 0; i < num_devices_; ++i) {
     const Point pos = topology.device(DeviceId{i}).position;
     for (std::size_t k = 0; k < num_base_stations_; ++k) {
@@ -74,7 +83,6 @@ ChannelMatrix ChannelModel::step(const Topology& topology) {
           std::clamp(raw, config_.min_efficiency, config_.max_efficiency);
     }
   }
-  return h;
 }
 
 }  // namespace eotora::topology

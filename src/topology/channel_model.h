@@ -48,6 +48,11 @@ class ChannelModel {
   // positions. Requires the same topology shape the model was built with.
   [[nodiscard]] ChannelMatrix step(const Topology& topology);
 
+  // Same advance, refilling `out` in place (resized to I x K). Identical
+  // RNG stream to step(); reuses the row vectors' capacity so a
+  // steady-state caller allocates nothing per slot.
+  void step_into(const Topology& topology, ChannelMatrix& out);
+
   [[nodiscard]] const std::vector<double>& base_efficiencies() const {
     return base_efficiency_;
   }

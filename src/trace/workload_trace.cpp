@@ -26,17 +26,22 @@ WorkloadTrace::WorkloadTrace(const WorkloadTraceConfig& config, util::Rng rng)
 }
 
 std::vector<double> WorkloadTrace::next() {
-  std::vector<double> values(config_.devices, 0.0);
+  std::vector<double> values;
+  next_into(values);
+  return values;
+}
+
+void WorkloadTrace::next_into(std::vector<double>& out) {
+  out.assign(config_.devices, 0.0);
   const double base = trend_.at(slot_);
   for (std::size_t i = 0; i < config_.devices; ++i) {
     const double noise =
         noise_half_range_ > 0.0
             ? rng_.uniform(-noise_half_range_, noise_half_range_)
             : 0.0;
-    values[i] = std::clamp(base + noise, config_.low, config_.high);
+    out[i] = std::clamp(base + noise, config_.low, config_.high);
   }
   ++slot_;
-  return values;
 }
 
 }  // namespace eotora::trace

@@ -35,6 +35,11 @@ class WorkloadTrace {
   // Draws per-device values for the next slot; result size == devices.
   [[nodiscard]] std::vector<double> next();
 
+  // Same draw, refilling `out` in place (resized to devices). Identical RNG
+  // stream to next(), so the two forms are interchangeable mid-trace; reuses
+  // out's capacity, the allocation-free form the streaming pipeline needs.
+  void next_into(std::vector<double>& out);
+
   // Trend midpoint at slot t for device i (same for all devices by default).
   [[nodiscard]] double trend_at(std::size_t t) const { return trend_.at(t); }
 

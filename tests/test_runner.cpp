@@ -97,6 +97,57 @@ TEST(Runner, SweepRecordsAreByteIdenticalAcrossThreadsAndReruns) {
   EXPECT_EQ(baseline, strip_timing(rerun.to_json()).dump());
 }
 
+TEST(Runner, StreamingSweepMatchesMaterializedExactly) {
+  // SweepSpec::stream flips the per-cell state generation to a
+  // ScenarioSource; every deterministic field of every cell must stay
+  // bit-identical to the materialized path, threaded or not.
+  SweepSpec materialized = small_two_axis_spec();
+  materialized.seeds = 2;
+  SweepSpec streamed = materialized;
+  streamed.stream = true;
+  const auto base = run_sweep(materialized, 2);
+  const auto stream = run_sweep(streamed, 2);
+  ASSERT_EQ(base.cells.size(), stream.cells.size());
+  for (std::size_t i = 0; i < base.cells.size(); ++i) {
+    const auto& a = base.cells[i];
+    const auto& b = stream.cells[i];
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.tail.latency, b.tail.latency) << a.policy;
+    EXPECT_EQ(a.tail.energy_cost, b.tail.energy_cost) << a.policy;
+    EXPECT_EQ(a.tail.queue, b.tail.queue) << a.policy;
+    EXPECT_EQ(a.avg_latency, b.avg_latency) << a.policy;
+    EXPECT_EQ(a.avg_cost, b.avg_cost) << a.policy;
+    EXPECT_EQ(a.avg_backlog, b.avg_backlog) << a.policy;
+    EXPECT_EQ(a.tail_latency_stats.mean(), b.tail_latency_stats.mean());
+  }
+  // Only the `stream` flag differs in the artifact (besides wall clocks).
+  EXPECT_TRUE(stream.to_json().contains("stream"));
+  EXPECT_TRUE(stream.to_json().at("stream").as_bool());
+  util::Json lhs = strip_timing(base.to_json());
+  util::Json rhs = strip_timing(stream.to_json());
+  lhs.erase("stream");
+  rhs.erase("stream");
+  EXPECT_EQ(lhs.dump(), rhs.dump());
+}
+
+TEST(Runner, StreamingAuditedSweepStaysClean) {
+  SweepSpec spec;
+  spec.name = "audited-stream";
+  spec.base = tiny();
+  spec.policies = {"dpp-bdma", "beta-only"};
+  spec.params.bdma_iterations = 1;
+  spec.horizon = 6;
+  spec.window = 3;
+  spec.stream = true;
+  spec.audit.mode = AuditMode::kEverySlot;
+  const auto result = run_sweep(spec, 1);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.audited_slots, spec.horizon) << cell.policy;
+    EXPECT_EQ(cell.audit_violations, 0u) << cell.policy;
+  }
+}
+
 TEST(Runner, ArtifactCarriesBuildProvenance) {
   SweepSpec spec = small_two_axis_spec();
   spec.axes.clear();

@@ -1,0 +1,328 @@
+// The streaming state pipeline: StateSource implementations must deliver
+// byte-identical sequences to the materialized era, and run_policy over a
+// stream must be bit-for-bit equal to run_policy over the pre-generated
+// vector — that equivalence is what lets the goldens stand untouched.
+#include "sim/state_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "sim/registry.h"
+#include "sim/replay.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace eotora::sim {
+namespace {
+
+ScenarioConfig tiny() {
+  ScenarioConfig config;
+  config.devices = 6;
+  config.mid_band_stations = 2;
+  config.low_band_stations = 1;
+  config.clusters = 1;
+  config.servers_per_cluster = 2;
+  config.seed = 7;
+  return config;
+}
+
+void expect_states_equal(const core::SlotState& a, const core::SlotState& b,
+                         std::size_t t) {
+  EXPECT_EQ(a.slot, b.slot) << "slot index " << t;
+  EXPECT_EQ(a.price_per_mwh, b.price_per_mwh) << "slot index " << t;
+  EXPECT_EQ(a.task_cycles, b.task_cycles) << "slot index " << t;
+  EXPECT_EQ(a.data_bits, b.data_bits) << "slot index " << t;
+  EXPECT_EQ(a.channel, b.channel) << "slot index " << t;
+}
+
+std::vector<core::SlotState> drain(StateSource& source) {
+  std::vector<core::SlotState> states;
+  core::SlotState state;
+  while (source.next(state)) states.push_back(state);
+  return states;
+}
+
+TEST(MaterializedSourceTest, DeliversTheVectorThenExhausts) {
+  Scenario scenario(tiny());
+  const auto states = scenario.generate_states(5);
+  MaterializedSource source(states);
+  EXPECT_EQ(source.size_hint(), 5u);
+  const auto streamed = drain(source);
+  ASSERT_EQ(streamed.size(), states.size());
+  for (std::size_t t = 0; t < states.size(); ++t) {
+    expect_states_equal(streamed[t], states[t], t);
+  }
+  core::SlotState extra;
+  EXPECT_FALSE(source.next(extra));
+  source.reset();
+  EXPECT_TRUE(source.next(extra));
+  expect_states_equal(extra, states[0], 0);
+}
+
+TEST(MaterializedSourceTest, OwningConstructorKeepsTheStates) {
+  Scenario scenario(tiny());
+  auto states = scenario.generate_states(3);
+  const auto copy = states;
+  MaterializedSource source(std::move(states));
+  const auto streamed = drain(source);
+  ASSERT_EQ(streamed.size(), copy.size());
+  for (std::size_t t = 0; t < copy.size(); ++t) {
+    expect_states_equal(streamed[t], copy[t], t);
+  }
+}
+
+TEST(ScenarioSourceTest, MatchesGenerateStatesExactly) {
+  Scenario materialized(tiny());
+  const auto states = materialized.generate_states(10);
+  ScenarioSource source(tiny(), 10);
+  EXPECT_EQ(source.size_hint(), 10u);
+  const auto streamed = drain(source);
+  ASSERT_EQ(streamed.size(), states.size());
+  for (std::size_t t = 0; t < states.size(); ++t) {
+    expect_states_equal(streamed[t], states[t], t);
+  }
+}
+
+TEST(ScenarioSourceTest, ResetReplaysTheIdenticalSequence) {
+  ScenarioSource source(tiny(), 6);
+  const auto first = drain(source);
+  source.reset();
+  const auto second = drain(source);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t t = 0; t < first.size(); ++t) {
+    expect_states_equal(first[t], second[t], t);
+  }
+}
+
+TEST(ScenarioSourceTest, InPlaceGenerationReusesTheBuffers) {
+  Scenario scenario(tiny());
+  core::SlotState state;
+  scenario.next_state(state);  // settle the shapes
+  const double* task_data = state.task_cycles.data();
+  const double* bits_data = state.data_bits.data();
+  const double* channel_row0 = state.channel.front().data();
+  const auto* channel_rows = state.channel.data();
+  for (int t = 0; t < 20; ++t) {
+    scenario.next_state(state);
+    // Same capacity refilled in place: no per-slot allocations, so the
+    // data pointers must not move.
+    EXPECT_EQ(state.task_cycles.data(), task_data);
+    EXPECT_EQ(state.data_bits.data(), bits_data);
+    EXPECT_EQ(state.channel.data(), channel_rows);
+    EXPECT_EQ(state.channel.front().data(), channel_row0);
+  }
+}
+
+TEST(ScenarioSourceTest, InPlaceAndValueFormsDrawTheSameStream) {
+  Scenario by_value(tiny());
+  Scenario in_place(tiny());
+  core::SlotState buffer;
+  for (std::size_t t = 0; t < 8; ++t) {
+    const core::SlotState fresh = by_value.next_state();
+    in_place.next_state(buffer);
+    expect_states_equal(fresh, buffer, t);
+  }
+}
+
+TEST(ReplaySourceTest, StreamsWhatLoadStatesParses) {
+  const std::string path = "/tmp/eotora_test_state_source_replay.csv";
+  Scenario scenario(tiny());
+  const auto states = scenario.generate_states(7);
+  save_states(path, states);
+  const auto loaded = load_states(path);
+  ReplaySource source(path);
+  EXPECT_EQ(source.devices(), tiny().devices);
+  const auto streamed = drain(source);
+  std::remove(path.c_str());
+  ASSERT_EQ(streamed.size(), loaded.size());
+  for (std::size_t t = 0; t < loaded.size(); ++t) {
+    expect_states_equal(streamed[t], loaded[t], t);
+  }
+}
+
+TEST(ReplaySourceTest, ResetRewindsToTheFirstRow) {
+  const std::string path = "/tmp/eotora_test_state_source_reset.csv";
+  Scenario scenario(tiny());
+  save_states(path, scenario.generate_states(4));
+  ReplaySource source(path);
+  const auto first = drain(source);
+  source.reset();
+  const auto second = drain(source);
+  std::remove(path.c_str());
+  ASSERT_EQ(first.size(), 4u);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t t = 0; t < first.size(); ++t) {
+    expect_states_equal(first[t], second[t], t);
+  }
+}
+
+TEST(RecordingSourceTest, TeeWritesAReplayableCsv) {
+  const std::string path = "/tmp/eotora_test_state_source_tee.csv";
+  ScenarioSource inner(tiny(), 5);
+  RecordingSource tee(inner, path);
+  const auto streamed = drain(tee);
+  const auto loaded = load_states(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), streamed.size());
+  for (std::size_t t = 0; t < streamed.size(); ++t) {
+    expect_states_equal(loaded[t], streamed[t], t);
+  }
+}
+
+TEST(PrefetchSourceTest, DeliversTheInnerSequenceUnchanged) {
+  ScenarioSource reference(tiny(), 12);
+  const auto expected = drain(reference);
+  ScenarioSource inner(tiny(), 12);
+  PrefetchSource prefetch(inner);
+  EXPECT_EQ(prefetch.size_hint(), 12u);
+  const auto streamed = drain(prefetch);
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (std::size_t t = 0; t < expected.size(); ++t) {
+    expect_states_equal(streamed[t], expected[t], t);
+  }
+  core::SlotState extra;
+  EXPECT_FALSE(prefetch.next(extra));
+}
+
+TEST(PrefetchSourceTest, ResetReplays) {
+  ScenarioSource inner(tiny(), 5);
+  PrefetchSource prefetch(inner);
+  const auto first = drain(prefetch);
+  prefetch.reset();
+  const auto second = drain(prefetch);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t t = 0; t < first.size(); ++t) {
+    expect_states_equal(first[t], second[t], t);
+  }
+}
+
+// The tentpole guarantee: for EVERY registered policy and several seeds,
+// run_policy over a ScenarioSource is bit-for-bit identical to run_policy
+// over the pre-generated vector of the same scenario. This is the
+// differential that lets the 12 golden fixtures stand byte-identical with
+// zero regeneration.
+TEST(StreamingDifferentialTest, StreamingEqualsMaterializedForAllPolicies) {
+  const std::size_t horizon = 6;
+  for (const std::string& name : registered_policies()) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      ScenarioConfig config = tiny();
+      config.seed = 100 + seed;
+      PolicyParams params;
+      params.bdma_iterations = 2;
+      params.mcba_iterations = 200;
+      params.mpc.window = 2;
+
+      Scenario scenario(config);
+      const auto states = scenario.generate_states(horizon);
+      auto materialized_policy = make_policy(name, scenario.instance(), params);
+      const auto materialized = run_policy(*materialized_policy, states, seed);
+
+      ScenarioSource source(config, horizon);
+      auto streaming_policy = make_policy(name, source.instance(), params);
+      const auto streamed = run_policy(*streaming_policy, source, seed);
+
+      SCOPED_TRACE("policy=" + name + " seed=" + std::to_string(seed));
+      EXPECT_EQ(materialized.policy_name, streamed.policy_name);
+      ASSERT_EQ(materialized.metrics.slots(), streamed.metrics.slots());
+      // Bit-for-bit: the full per-slot series compare with double ==.
+      EXPECT_EQ(materialized.metrics.latency_series(),
+                streamed.metrics.latency_series());
+      EXPECT_EQ(materialized.metrics.cost_series(),
+                streamed.metrics.cost_series());
+      EXPECT_EQ(materialized.metrics.queue_series(),
+                streamed.metrics.queue_series());
+      EXPECT_EQ(materialized.metrics.average_latency(),
+                streamed.metrics.average_latency());
+      EXPECT_EQ(materialized.metrics.average_energy_cost(),
+                streamed.metrics.average_energy_cost());
+      EXPECT_EQ(materialized.metrics.average_queue(),
+                streamed.metrics.average_queue());
+    }
+  }
+}
+
+TEST(StreamingRunPolicyTest, AuditedOverloadMatchesMaterialized) {
+  ScenarioConfig config = tiny();
+  const std::size_t horizon = 5;
+  AuditConfig audit;
+  audit.mode = AuditMode::kEverySlot;
+
+  Scenario scenario(config);
+  const auto states = scenario.generate_states(horizon);
+  auto policy_a = make_policy("dpp-bdma", scenario.instance());
+  const auto materialized =
+      run_policy(*policy_a, scenario.instance(), states, audit, 4);
+
+  ScenarioSource source(config, horizon);
+  auto policy_b = make_policy("dpp-bdma", source.instance());
+  const auto streamed =
+      run_policy(*policy_b, source.instance(), source, audit, 4);
+
+  EXPECT_EQ(materialized.audit.slots_audited, streamed.audit.slots_audited);
+  EXPECT_EQ(materialized.audit.total_violations(),
+            streamed.audit.total_violations());
+  EXPECT_EQ(materialized.metrics.latency_series(),
+            streamed.metrics.latency_series());
+}
+
+TEST(StreamingRunPolicyTest, EmptySourceThrows) {
+  const std::vector<core::SlotState> empty;
+  MaterializedSource source(empty);
+  Scenario scenario(tiny());
+  auto policy = make_policy("fixed-min", scenario.instance());
+  EXPECT_THROW((void)run_policy(*policy, source), std::invalid_argument);
+}
+
+TEST(StreamingRunPolicyTest, KeepSeriesFalseKeepsAggregatesOnly) {
+  ScenarioConfig config = tiny();
+  const std::size_t horizon = 6;
+  ScenarioSource source(config, horizon);
+  auto policy = make_policy("dpp-bdma", source.instance());
+  const auto lean = run_policy(*policy, source, 1, /*keep_series=*/false);
+
+  Scenario scenario(config);
+  const auto states = scenario.generate_states(horizon);
+  auto reference_policy = make_policy("dpp-bdma", scenario.instance());
+  const auto full = run_policy(*reference_policy, states, 1);
+
+  EXPECT_FALSE(lean.metrics.keeps_series());
+  EXPECT_TRUE(lean.metrics.latency_series().empty());
+  EXPECT_EQ(lean.metrics.slots(), full.metrics.slots());
+  EXPECT_EQ(lean.metrics.average_latency(), full.metrics.average_latency());
+  EXPECT_EQ(lean.metrics.average_energy_cost(),
+            full.metrics.average_energy_cost());
+  EXPECT_EQ(lean.metrics.average_queue(), full.metrics.average_queue());
+  EXPECT_EQ(lean.metrics.max_queue(), full.metrics.max_queue());
+  EXPECT_THROW((void)lean.metrics.latency_percentile(95.0), std::logic_error);
+  EXPECT_THROW((void)tail_averages(lean, 2), std::invalid_argument);
+}
+
+TEST(MetricsKeepSeriesTest, CannotFlipAfterRecording) {
+  core::MetricsCollector metrics;
+  core::DppSlotResult slot;
+  slot.decision.frequencies = {1.0};
+  metrics.record(slot);
+  EXPECT_THROW(metrics.set_keep_series(false), std::invalid_argument);
+}
+
+TEST(TailAveragesTest, OversizedWindowNamesBothValues) {
+  Scenario scenario(tiny());
+  const auto states = scenario.generate_states(4);
+  auto policy = make_policy("fixed-min", scenario.instance());
+  const auto result = run_policy(*policy, states, 1);
+  try {
+    (void)tail_averages(result, 10);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("window=10"), std::string::npos) << what;
+    EXPECT_NE(what.find("4"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace eotora::sim
