@@ -262,6 +262,39 @@ void BM_DesStaticSlot(benchmark::State& bench) {
 }
 BENCHMARK(BM_DesStaticSlot);
 
+// Observability overhead gate: the full per-slot decide loop (run_policy
+// over a streamed scenario) with tracing + counters disabled vs enabled.
+// The instrumented variant pays the live cost of every span, counter
+// increment, and phase timer on the hot path; CI asserts the ratio stays
+// under 2% (ISSUE 5 acceptance gate). The trace buffer is cleared per
+// iteration so memory stays bounded across benchmark repetitions.
+void decide_loop_bench(benchmark::State& bench, bool traced) {
+  sim::ScenarioConfig config;
+  config.devices = 40;
+  config.seed = 999;
+  constexpr std::size_t kSlots = 24;
+  const bool was_enabled = util::trace::enabled();
+  for (auto _ : bench) {
+    util::trace::set_enabled(traced);
+    sim::ScenarioSource source(config, kSlots);
+    auto policy = sim::make_policy("dpp-bdma", source.instance(),
+                                   sim::PolicyParams{});
+    const auto result =
+        sim::run_policy(*policy, source, 1, /*keep_series=*/false);
+    benchmark::DoNotOptimize(result.counters.bdma_iterations);
+    util::trace::set_enabled(was_enabled);
+    if (traced) util::trace::clear();
+  }
+}
+void BM_DecideLoopUninstrumented(benchmark::State& bench) {
+  decide_loop_bench(bench, false);
+}
+BENCHMARK(BM_DecideLoopUninstrumented);
+void BM_DecideLoopInstrumented(benchmark::State& bench) {
+  decide_loop_bench(bench, true);
+}
+BENCHMARK(BM_DecideLoopInstrumented);
+
 void BM_DesProcessorSharingSlot(benchmark::State& bench) {
   auto& f = fixture();
   const auto& instance = f.scenario->instance();

@@ -10,8 +10,10 @@
 #include <iostream>
 #include <memory>
 
+#include "core/counters.h"
 #include "eotora/eotora.h"
 #include "util/args.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -43,7 +45,13 @@ options (all --key=value):
   --audit    re-validate every slot against the P1 constraint set
              (sim/audit.h): "every" (default when the flag is bare),
              "sample" (every 16th slot), or "off"; exits 3 on violations
+  --trace-out  record execution trace spans (per-slot phases, solver
+             stages) and write Chrome chrome://tracing JSON to this path;
+             tracing never changes results or the printed counters
   --help     this text
+
+Deterministic solver counters (best-response rounds, accepted moves, BDMA
+iterations, Lemma-1 evaluations, ...) are printed after every run.
 )";
 }
 
@@ -89,7 +97,8 @@ int main(int argc, char** argv) {
     const util::Args args(argc, argv,
                           {"policy", "devices", "days", "horizon", "budget",
                            "v", "q0", "z", "seed", "record", "replay", "log",
-                           "stream", "prefetch", "audit", "help"});
+                           "stream", "prefetch", "audit", "trace-out",
+                           "help"});
     if (args.has("help")) {
       print_usage();
       return 0;
@@ -105,9 +114,29 @@ int main(int argc, char** argv) {
             ? static_cast<std::size_t>(args.get_int("horizon", 0))
             : 24 * days;
 
+    // Reject contradictory flag combinations up front, before any file or
+    // scenario work happens, so mistakes fail fast with a clear message.
     const bool stream = args.has("stream");
     if (args.has("prefetch") && !stream) {
       throw std::invalid_argument("--prefetch requires --stream");
+    }
+    if (args.has("record") && args.has("replay")) {
+      throw std::invalid_argument(
+          "--record and --replay are mutually exclusive: a replayed run "
+          "would just copy the input CSV");
+    }
+    if (args.has("replay") && (args.has("horizon") || args.has("days"))) {
+      throw std::invalid_argument(
+          "--horizon/--days do not apply with --replay: the replay file "
+          "fixes the number of slots");
+    }
+    const std::string trace_out = args.get("trace-out", "");
+    if (args.has("trace-out") && trace_out.empty()) {
+      throw std::invalid_argument("--trace-out requires a file path");
+    }
+    if (!trace_out.empty()) {
+      util::trace::clear();
+      util::trace::set_enabled(true);
     }
 
     // Policies come from the registry; the historical short names stay as
@@ -210,9 +239,15 @@ int main(int argc, char** argv) {
       sim::DecisionLogWriter log(args.get("log", ""));
       sim::SlotAuditor auditor(*instance, audit);
       core::SlotState state;
+      core::DppSlotResult slot;
       util::Timer timer;
       while (source->next(state)) {
-        const auto slot = policy->step(state, rng);
+        {
+          // Scope only the decision, matching run_policy: audit-time
+          // re-solves must not pollute the counters.
+          const core::counters::Scope scope(result.counters);
+          slot = policy->step(state, rng);
+        }
         result.metrics.record(slot);
         log.record(state, slot);
         if (auditing) auditor.observe(state, slot);
@@ -228,9 +263,13 @@ int main(int argc, char** argv) {
       result.policy_name = policy->name();
       sim::DecisionLog log;
       sim::SlotAuditor auditor(*instance, audit);
+      core::DppSlotResult slot;
       util::Timer timer;
       for (const auto& state : states) {
-        const auto slot = policy->step(state, rng);
+        {
+          const core::counters::Scope scope(result.counters);
+          slot = policy->step(state, rng);
+        }
         result.metrics.record(slot);
         log.record(state, slot);
         if (auditing) auditor.observe(state, slot);
@@ -258,6 +297,21 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
     sim::print_comparison(std::cout, {result}, config.budget_per_slot);
+    // Deterministic for a fixed scenario + seed, so this line is also a
+    // quick reproducibility check across machines.
+    std::cout << "counters: " << result.counters.to_json().dump() << "\n";
+    if (prefetch_source != nullptr) {
+      const auto stats = prefetch_source->stats();
+      std::cout << "prefetch: delivered=" << stats.delivered
+                << " max_ready_depth=" << stats.max_ready_depth
+                << " consumer_stalls=" << stats.consumer_stalls << "\n";
+    }
+    if (!trace_out.empty()) {
+      util::trace::set_enabled(false);
+      util::trace::write_chrome_json(trace_out);
+      std::cout << "wrote " << util::trace::event_count()
+                << " trace events to " << trace_out << "\n";
+    }
     if (auditing) {
       return report_audit(result.audit);
     }

@@ -2,10 +2,12 @@
 
 #include <limits>
 
+#include "core/counters.h"
 #include "core/latency.h"
 #include "core/ropt.h"
 #include "core/wcg.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace eotora::core {
 
@@ -30,8 +32,11 @@ BdmaResult bdma(const Instance& instance, const SlotState& state, double v,
   BdmaResult best;
   best.objective = std::numeric_limits<double>::infinity();
 
+  counters::active().bdma_iterations += config.iterations;
+
   SolveResult previous;  // warm start for iterations > 1
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    EOTORA_TRACE_SPAN("bdma/iteration");
     // rebuild() above already installed Ω^L; only re-derive the compute
     // weights once P2-B has produced new frequencies.
     if (iter > 0) problem.set_frequencies(instance, omega);

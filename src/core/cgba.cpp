@@ -1,7 +1,9 @@
 #include "core/cgba.h"
 
+#include <cstdint>
 #include <utility>
 
+#include "core/counters.h"
 #include "util/check.h"
 
 namespace eotora::core {
@@ -21,12 +23,17 @@ SolveResult run_cgba(const CgbaConfig& config, LoadTracker& tracker,
                      MoveFn&& move) {
   SolveResult result;
   result.converged = false;
+  // Rounds = full best-response passes (round-robin sweeps or max-gap
+  // argmax scans); moves = responses that changed an option. Accumulated
+  // locally and flushed once so the hot loop touches no TLS.
+  std::uint64_t rounds = 0;
 
   if (config.selection == CgbaSelection::kRoundRobin) {
     // Sweep players in index order until one full pass makes no move.
     bool any_moved = true;
     while (any_moved && result.iterations < config.max_moves) {
       any_moved = false;
+      ++rounds;
       for (std::size_t i = 0; i < devices; ++i) {
         const LoadTracker::BestResponse br = best_response(i);
         const double threshold = (1.0 - config.lambda) * br.current_cost -
@@ -42,10 +49,13 @@ SolveResult run_cgba(const CgbaConfig& config, LoadTracker& tracker,
     result.converged = !any_moved;
     result.profile = tracker.profile();
     result.cost = tracker.total_cost();
+    counters::active().cgba_rounds += rounds;
+    counters::active().cgba_moves += result.iterations;
     return result;
   }
 
   for (std::size_t moves = 0; moves < config.max_moves; ++moves) {
+    ++rounds;
     // Line 3 of Algorithm 3: the player with the largest improvement.
     std::size_t best_device = devices;  // sentinel: nobody wants to move
     std::size_t best_option = 0;
@@ -75,6 +85,8 @@ SolveResult run_cgba(const CgbaConfig& config, LoadTracker& tracker,
   // profile found; callers can inspect `converged`.
   result.profile = tracker.profile();
   result.cost = tracker.total_cost();
+  counters::active().cgba_rounds += rounds;
+  counters::active().cgba_moves += result.iterations;
   return result;
 }
 
@@ -100,10 +112,13 @@ SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
         [&](std::size_t i, std::size_t o) { tracker.move(i, o); });
   }
   BestResponseEngine engine(tracker);
-  return run_cgba(
+  SolveResult result = run_cgba(
       config, tracker, devices,
       [&](std::size_t i) { return engine.best_response(i); },
       [&](std::size_t i, std::size_t o) { engine.move(i, o); });
+  counters::active().engine_rebuilds += 1;
+  counters::active().engine_term_refreshes += engine.term_refreshes();
+  return result;
 }
 
 }  // namespace eotora::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace eotora::core {
 
@@ -17,8 +18,12 @@ DppSlotResult DppController::step(const SlotState& state, util::Rng& rng) {
   DppSlotResult result;
   result.queue_before = queue_;
 
-  const BdmaResult solution =
-      bdma(*instance_, state, config_.v, queue_, config_.bdma, rng, workspace_);
+  BdmaResult solution;
+  {
+    EOTORA_TRACE_SPAN("dpp/bdma");
+    solution = bdma(*instance_, state, config_.v, queue_, config_.bdma, rng,
+                    workspace_);
+  }
 
   result.decision.assignment = solution.assignment;
   result.decision.frequencies = solution.frequencies;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/counters.h"
 #include "util/check.h"
 
 namespace eotora::core {
@@ -16,6 +17,7 @@ ResourceAllocation optimal_allocation(const Instance& instance,
   EOTORA_REQUIRE(assignment.server_of.size() == devices);
   EOTORA_REQUIRE(state.task_cycles.size() == devices);
   EOTORA_REQUIRE(state.data_bits.size() == devices);
+  ++counters::active().lemma1_evaluations;
 
   // Per-resource denominators: Σ_j sqrt(c_j) over the devices sharing it.
   std::vector<double> server_denominator(topo.num_servers(), 0.0);

@@ -1,7 +1,9 @@
 #include "core/mcba.h"
 
 #include <cmath>
+#include <cstdint>
 
+#include "core/counters.h"
 #include "util/check.h"
 
 namespace eotora::core {
@@ -29,11 +31,16 @@ SolveResult mcba(const WcgProblem& problem, const McbaConfig& config,
           : 1.0;
   double temperature = t0;
 
+  // Accumulated locally, flushed once after the annealing loop so the hot
+  // path touches no TLS.
+  std::uint64_t proposals = 0;
+  std::uint64_t accepted = 0;
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     const std::size_t device = rng.index(problem.num_devices());
     const std::size_t option = rng.index(problem.options(device).size());
     const std::size_t previous = tracker.profile()[device];
     if (option != previous) {
+      ++proposals;
       // Evaluate before moving: the fast path gets Δ from the O(1)
       // per-resource delta, the oracle from a full sweep that reproduces
       // { move(); total_cost(); } bit-for-bit. Rejecting is then free — no
@@ -48,6 +55,7 @@ SolveResult mcba(const WcgProblem& problem, const McbaConfig& config,
           (temperature > 0.0 && rng.uniform(0.0, 1.0) <
                                     std::exp(-delta / temperature));
       if (accept) {
+        ++accepted;
         tracker.move(device, option);
         // Re-derive the running cost from the tracked loads rather than
         // accumulating deltas, so both paths carry identical cost bits.
@@ -61,6 +69,8 @@ SolveResult mcba(const WcgProblem& problem, const McbaConfig& config,
     temperature *= cooling;
     ++best.iterations;
   }
+  counters::active().mcba_proposals += proposals;
+  counters::active().mcba_accepted += accepted;
   return best;
 }
 

@@ -691,18 +691,22 @@ void BestResponseEngine::move(std::size_t device, std::size_t option_index) {
   for (std::size_t t = 0; t < m; ++t) {
     const std::size_t r = changed[t];
     if (r < num_servers_) {
+      term_refreshes_ +=
+          server_device_offsets_[r + 1] - server_device_offsets_[r];
       for (std::size_t e = server_device_offsets_[r];
            e < server_device_offsets_[r + 1]; ++e) {
         refresh_compute_term(server_device_entries_[e], r);
       }
     } else if (r < num_servers_ + num_base_stations_) {
       const std::size_t k = r - num_servers_;
+      term_refreshes_ += bs_device_offsets_[k + 1] - bs_device_offsets_[k];
       for (std::size_t e = bs_device_offsets_[k]; e < bs_device_offsets_[k + 1];
            ++e) {
         refresh_access_term(bs_device_entries_[e], k);
       }
     } else {
       const std::size_t k = r - num_servers_ - num_base_stations_;
+      term_refreshes_ += bs_device_offsets_[k + 1] - bs_device_offsets_[k];
       for (std::size_t e = bs_device_offsets_[k]; e < bs_device_offsets_[k + 1];
            ++e) {
         refresh_fronthaul_term(bs_device_entries_[e], k);

@@ -266,6 +266,13 @@ class BestResponseEngine {
   // cost terms the changed resources invalidate.
   void move(std::size_t device, std::size_t option_index);
 
+  // Incremental per-(device,resource) term re-derivations performed by
+  // move() calls so far — the effort the cache saved vs. a full rebuild.
+  // Flushed into core::counters by the solver that owns the engine.
+  [[nodiscard]] std::uint64_t term_refreshes() const {
+    return term_refreshes_;
+  }
+
  private:
   // A contiguous arena run of one device's options on one base station.
   struct Group {
@@ -303,6 +310,7 @@ class BestResponseEngine {
   std::vector<double> pc_, wpc_, tc_;  // devices × num_servers
   std::vector<double> pa_, wpa_, ta_;  // devices × num_base_stations
   std::vector<double> pf_, wpf_, tf_;  // devices × num_base_stations
+  std::uint64_t term_refreshes_ = 0;
 };
 
 }  // namespace eotora::core

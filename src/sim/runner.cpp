@@ -8,6 +8,7 @@
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace eotora::sim {
 
@@ -160,6 +161,7 @@ std::vector<AxisAssignment> enumerate_assignments(const SweepSpec& spec) {
 
 SweepCell run_cell(const SweepSpec& spec, const AxisAssignment& assignment,
                    const std::string& policy_name) {
+  EOTORA_TRACE_SPAN("sweep/cell");
   util::Timer cell_timer;
   SweepCell cell;
   cell.axis_values = assignment;
@@ -216,6 +218,9 @@ SweepCell run_cell(const SweepSpec& spec, const AxisAssignment& assignment,
     avg_cost.add(result.metrics.average_energy_cost());
     avg_backlog.add(result.metrics.average_queue());
     cell.decision_seconds += result.wall_seconds;
+    cell.state_seconds += result.state_seconds;
+    cell.audit_seconds += result.audit_seconds;
+    cell.counters.merge(result.counters);
   }
   cell.tail.latency = cell.tail_latency_stats.mean();
   cell.tail.energy_cost = tail_cost.mean();
@@ -232,6 +237,15 @@ SweepCell run_cell(const SweepSpec& spec, const AxisAssignment& assignment,
 SweepResult run_sweep(const SweepSpec& spec, std::size_t threads) {
   validate(spec);
   util::Timer total_timer;
+
+  // Tracing is process-global; scope it to this sweep and restore the
+  // caller's setting afterwards (nested/sequential sweeps compose).
+  const bool trace_here = !spec.trace.empty();
+  const bool trace_was_enabled = util::trace::enabled();
+  if (trace_here) {
+    util::trace::clear();
+    util::trace::set_enabled(true);
+  }
 
   const auto assignments = enumerate_assignments(spec);
   struct CellKey {
@@ -259,12 +273,19 @@ SweepResult run_sweep(const SweepSpec& spec, std::size_t threads) {
 
   auto& pool = util::ThreadPool::shared();
   const std::size_t workers = threads == 0 ? pool.size() : threads;
-  // Cell i writes slot i; the merge below is a no-op, so the result is
-  // independent of how the pool interleaved the cells.
-  pool.parallel_for_index(keys.size(), workers, [&](std::size_t i) {
-    result.cells[i] = run_cell(spec, *keys[i].assignment, *keys[i].policy);
-  });
+  {
+    EOTORA_TRACE_SPAN("sweep/run");
+    // Cell i writes slot i; the merge below is a no-op, so the result is
+    // independent of how the pool interleaved the cells.
+    pool.parallel_for_index(keys.size(), workers, [&](std::size_t i) {
+      result.cells[i] = run_cell(spec, *keys[i].assignment, *keys[i].policy);
+    });
+  }
 
+  if (trace_here) {
+    util::trace::set_enabled(trace_was_enabled);
+    util::trace::write_chrome_json(spec.trace);
+  }
   result.wall_seconds = total_timer.elapsed_seconds();
   return result;
 }
@@ -350,8 +371,12 @@ util::Json SweepResult::to_json() const {
       record["audited_slots"] = cell.audited_slots;
       record["audit_violations"] = cell.audit_violations;
     }
+    // Solver effort totals: deterministic, summed over the cell's seeds.
+    record["counters"] = cell.counters.to_json();
     // Wall-clock fields: NOT deterministic; strip before diffing records.
     record["decision_seconds"] = cell.decision_seconds;
+    record["state_seconds"] = cell.state_seconds;
+    record["audit_seconds"] = cell.audit_seconds;
     record["wall_seconds"] = cell.wall_seconds;
     records.push_back(std::move(record));
   }

@@ -69,6 +69,10 @@ struct SweepSpec {
   // policy_tracks_queue(), so mixing dpp-* and queue-free baselines in one
   // sweep stays sound.
   AuditConfig audit{AuditMode::kOff};
+  // Non-empty: enable util/trace for the duration of the sweep and write
+  // the Chrome-trace JSON here afterwards. Tracing only adds span events —
+  // every deterministic artifact field (counters included) is unchanged.
+  std::string trace;
 };
 
 // One (axis values × policy) cell, aggregated over the spec's seeds.
@@ -83,9 +87,14 @@ struct SweepCell {
   double avg_cost = 0.0;
   double avg_backlog = 0.0;
   double decision_seconds = 0.0;  // summed policy decision time (run_policy)
+  double state_seconds = 0.0;     // summed state-pull time across seeds
+  double audit_seconds = 0.0;     // summed auditor time across seeds
   double wall_seconds = 0.0;      // total cell time incl. scenario + states
   std::size_t audited_slots = 0;      // summed over seeds (0 when audit off)
   std::size_t audit_violations = 0;   // total violations found across seeds
+  // Solver effort summed over the cell's seeds; deterministic for a given
+  // spec (part of the byte-identity-across-threads contract).
+  core::counters::SolverCounters counters;
 
   // 95% normal-approximation CI half-width of the tail latency across
   // seeds (zero for seeds < 2).

@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/counters.h"
 #include "util/check.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace eotora::sim {
 
@@ -32,18 +34,45 @@ SimulationResult run_policy_stream(Policy& policy,
     auditor = std::make_unique<SlotAuditor>(*instance, *audit);
   }
   core::SlotState state;
+  core::DppSlotResult slot;
+  double state_seconds = 0.0;
   double decision_seconds = 0.0;
+  double audit_seconds = 0.0;
   util::Timer timer;
-  while (source.next(state)) {
-    timer.reset();
-    core::DppSlotResult slot = policy.step(state, rng);
-    decision_seconds += timer.elapsed_seconds();
-    if (auditor != nullptr) auditor->observe(state, slot);
+  for (;;) {
+    // Phase 1: pull the next slot (generation / replay parse / prefetch
+    // wait). Timed so streaming runs can attribute source cost.
+    bool have_state;
+    {
+      EOTORA_TRACE_SPAN("slot/state");
+      timer.reset();
+      have_state = source.next(state);
+      state_seconds += timer.elapsed_seconds();
+    }
+    if (!have_state) break;
+    // Phase 2: decide. The counters Scope is installed around step() only,
+    // so audit-time re-solves below do not pollute the solver totals.
+    {
+      EOTORA_TRACE_SPAN("slot/decide");
+      const core::counters::Scope scope(result.counters);
+      timer.reset();
+      slot = policy.step(state, rng);
+      decision_seconds += timer.elapsed_seconds();
+    }
+    // Phase 3: audit (optional; excluded from wall_seconds).
+    if (auditor != nullptr) {
+      EOTORA_TRACE_SPAN("slot/audit");
+      timer.reset();
+      auditor->observe(state, slot);
+      audit_seconds += timer.elapsed_seconds();
+    }
     result.metrics.record(slot);
   }
   EOTORA_REQUIRE_MSG(result.metrics.slots() > 0,
                      "state source produced no slots");
   result.wall_seconds = decision_seconds;
+  result.state_seconds = state_seconds;
+  result.audit_seconds = audit_seconds;
   if (auditor != nullptr) result.audit = auditor->report();
   return result;
 }

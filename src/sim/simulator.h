@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/counters.h"
 #include "core/instance.h"
 #include "core/metrics.h"
 #include "sim/audit.h"
@@ -28,6 +29,15 @@ struct SimulationResult {
   // State generation, prefetch, audit, and metric bookkeeping are excluded,
   // so streaming and materialized runs report comparable numbers.
   double wall_seconds = 0.0;
+  // The other two per-slot phases, so a run's time fully decomposes:
+  // state_seconds is spent pulling slots from the source (generation,
+  // replay parsing, or prefetch wait), audit_seconds inside the auditor.
+  double state_seconds = 0.0;
+  double audit_seconds = 0.0;
+  // Solver effort totals for the whole run, captured from a
+  // counters::Scope installed around policy.step() only — audit-time
+  // re-solves are excluded. Deterministic for a fixed scenario + seed.
+  core::counters::SolverCounters counters;
   // Populated by the audited overloads; empty (clean, 0 slots) otherwise.
   AuditReport audit;
 };

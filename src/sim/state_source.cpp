@@ -1,11 +1,13 @@
 #include "sim/state_source.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/replay.h"
 #include "util/check.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace eotora::sim {
 
@@ -206,6 +208,7 @@ void PrefetchSource::start() {
   exhausted_ = false;
   stopping_ = false;
   error_ = nullptr;
+  stats_ = Stats{};
   producer_ = std::thread([this] { producer_loop(); });
 }
 
@@ -253,20 +256,40 @@ void PrefetchSource::producer_loop() {
 
 bool PrefetchSource::next(core::SlotState& out) {
   std::unique_lock<std::mutex> lock(mutex_);
+  const bool stalled = ready_.empty() && !exhausted_;
   cv_.wait(lock, [this] { return !ready_.empty() || exhausted_; });
-  if (error_ != nullptr) {
-    const std::exception_ptr error = error_;
-    error_ = nullptr;
-    std::rethrow_exception(error);
+  // Already-produced slots are delivered before any failure surfaces, so
+  // prefetch matches draining the inner source directly slot-for-slot up
+  // to the failure point.
+  if (ready_.empty()) {
+    // Terminal on error: error_ stays set, so every subsequent next()
+    // rethrows the same exception instead of resuming as a clean end of
+    // stream. Only reset() clears it.
+    if (error_ != nullptr) std::rethrow_exception(error_);
+    return false;  // exhausted
   }
-  if (ready_.empty()) return false;  // exhausted
+  const std::size_t ready_depth = ready_.size();
+  ++stats_.delivered;
+  stats_.ready_depth_sum += ready_depth;
+  stats_.max_ready_depth = std::max<std::uint64_t>(
+      stats_.max_ready_depth, ready_depth);
+  if (stalled) ++stats_.consumer_stalls;
   // Swap delivers the filled buffer and recycles the consumer's old one.
   std::swap(out, ready_.front());
   free_.push_back(std::move(ready_.front()));
   ready_.erase(ready_.begin());
   lock.unlock();
   cv_.notify_all();
+  if (util::trace::enabled()) {
+    util::trace::emit_counter("prefetch/ready_depth",
+                              static_cast<double>(ready_depth));
+  }
   return true;
+}
+
+PrefetchSource::Stats PrefetchSource::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 void PrefetchSource::reset() {

@@ -39,6 +39,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <fstream>
 #include <memory>
@@ -176,10 +177,31 @@ class RecordingSource final : public StateSource {
 // dedicated thread rather than the shared util::ThreadPool because the
 // pool only exposes blocking fork-join parallelism, and a prefetcher must
 // outlive individual calls.) The delivered sequence is bit-identical to
-// draining `inner` directly; exceptions thrown by the producer are
-// rethrown from next(). Not thread-safe for concurrent next() callers.
+// draining `inner` directly.
+//
+// Error contract: when the inner source throws on the producer thread, the
+// already-produced slots are still delivered in order; next() rethrows the
+// buffered exception only once the ready queue has drained, so `--prefetch`
+// matches plain streaming slot-for-slot up to the failure point. The error
+// is terminal: every subsequent next() rethrows the same exception (the
+// stream never resumes or reports a clean end). reset() discards the error
+// along with the rest of the stream position. Not thread-safe for
+// concurrent next() callers.
 class PrefetchSource final : public StateSource {
  public:
+  // Queue-depth observations, for tuning `depth`. ready/free depths are
+  // sampled at each next() call (after the wait, before the pop):
+  // ready == 0 means the consumer stalled waiting on the producer. Counts
+  // restart on reset(). These are wall-clock-dependent — they belong in
+  // traces and logs, never in deterministic artifacts.
+  struct Stats {
+    std::uint64_t delivered = 0;        // slots handed to the consumer
+    std::uint64_t ready_depth_sum = 0;  // Σ ready depth at delivery
+    std::uint64_t max_ready_depth = 0;
+    std::uint64_t consumer_stalls = 0;  // deliveries the consumer had to
+                                        // block for (ready was empty)
+  };
+
   // `inner` must outlive this source. `depth` >= 1 buffers are kept in
   // flight.
   explicit PrefetchSource(StateSource& inner, std::size_t depth = 2);
@@ -190,6 +212,7 @@ class PrefetchSource final : public StateSource {
   [[nodiscard]] std::size_t size_hint() const override {
     return inner_->size_hint();
   }
+  [[nodiscard]] Stats stats() const;
 
  private:
   void start();
@@ -199,13 +222,14 @@ class PrefetchSource final : public StateSource {
   StateSource* inner_;
   std::size_t depth_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<core::SlotState> ready_;  // FIFO of filled buffers
   std::vector<core::SlotState> free_;   // recycled empty buffers
   bool exhausted_ = false;
   bool stopping_ = false;
   std::exception_ptr error_;
+  Stats stats_;
   std::thread producer_;
 };
 

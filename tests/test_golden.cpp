@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "sim/golden.h"
+#include "util/trace.h"
 
 #ifndef EOTORA_GOLDEN_DIR
 #define EOTORA_GOLDEN_DIR "tests/golden"
@@ -179,6 +180,35 @@ TEST(GoldenFixtures, CommittedFixtureMatchesFreshRecording) {
   const GoldenTrace actual = sim::record_golden_trace(gs, "dpp-bdma");
   const GoldenDivergence div = sim::diff_golden(expected, actual);
   EXPECT_TRUE(div.identical) << div.describe();
+}
+
+// The observability inertness gate over the whole fixture matrix: with
+// util/trace enabled, every one of the 12 committed fixtures must still
+// re-derive byte-identically. Tracing reads clocks and appends to its own
+// buffers but never touches an RNG or a result value; a divergence here
+// means instrumentation leaked into the decision path.
+TEST(GoldenFixtures, AllFixturesAreByteIdenticalWithTracingEnabled) {
+  const bool was_enabled = util::trace::enabled();
+  util::trace::clear();
+  util::trace::set_enabled(true);
+  std::size_t checked = 0;
+  for (const GoldenScenario& gs : sim::golden_scenarios()) {
+    for (const std::string& policy : sim::golden_policies()) {
+      const std::string path = std::string(EOTORA_GOLDEN_DIR) + "/" +
+                               sim::golden_fixture_filename(gs.name, policy);
+      const GoldenTrace expected = sim::load_golden_file(path);
+      const GoldenTrace actual = sim::record_golden_trace(gs, policy);
+      const GoldenDivergence div = sim::diff_golden(expected, actual);
+      EXPECT_TRUE(div.identical)
+          << gs.name << "/" << policy << " diverged with tracing on: "
+          << div.describe();
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 12u);
+  EXPECT_GT(util::trace::event_count(), 0u);  // tracing really was live
+  util::trace::set_enabled(was_enabled);
+  util::trace::clear();
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "util/build_info.h"
 
@@ -33,7 +36,8 @@ SweepSpec small_two_axis_spec() {
 }
 
 // Strips the documented non-deterministic (wall-clock) fields so the rest
-// of the artifact can be compared exactly.
+// of the artifact — the solver counters included — can be compared
+// exactly.
 util::Json strip_timing(util::Json doc) {
   doc.erase("wall_seconds");
   util::Json records = util::Json::array();
@@ -41,6 +45,8 @@ util::Json strip_timing(util::Json doc) {
     util::Json record = doc.at("records").at(i);
     record.erase("wall_seconds");
     record.erase("decision_seconds");
+    record.erase("state_seconds");
+    record.erase("audit_seconds");
     records.push_back(record);
   }
   doc["records"] = records;
@@ -128,6 +134,66 @@ TEST(Runner, StreamingSweepMatchesMaterializedExactly) {
   lhs.erase("stream");
   rhs.erase("stream");
   EXPECT_EQ(lhs.dump(), rhs.dump());
+}
+
+TEST(Runner, CountersAreByteIdenticalAcrossThreadsAndReruns) {
+  // The new solver counters join the determinism contract: identical
+  // totals for --threads 1 vs 8 and across same-seed reruns (they ride
+  // the strip_timing byte-identity checks above too; this is the explicit
+  // field-level pin, including the artifact's nested "counters" object).
+  const auto serial = run_sweep(small_two_axis_spec(), 1);
+  const auto wide = run_sweep(small_two_axis_spec(), 8);
+  const auto rerun = run_sweep(small_two_axis_spec(), 8);
+  ASSERT_EQ(serial.cells.size(), wide.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].counters, wide.cells[i].counters) << i;
+    EXPECT_EQ(serial.cells[i].counters, rerun.cells[i].counters) << i;
+  }
+  // The counters measure real effort: every dpp-bdma cell ran BDMA and
+  // Lemma 1; no cell in this sweep ran MCBA.
+  for (const auto& cell : serial.cells) {
+    if (cell.policy == "dpp-bdma") {
+      EXPECT_GT(cell.counters.bdma_iterations, 0u);
+      EXPECT_GT(cell.counters.lemma1_evaluations, 0u);
+    }
+    EXPECT_EQ(cell.counters.mcba_proposals, 0u);
+  }
+  const auto doc = serial.to_json();
+  const auto& record = doc.at("records").at(0);
+  ASSERT_TRUE(record.contains("counters"));
+  EXPECT_EQ(record.at("counters").at("bdma_iterations").as_number(),
+            static_cast<double>(serial.cells[0].counters.bdma_iterations));
+  EXPECT_TRUE(record.contains("state_seconds"));
+  EXPECT_TRUE(record.contains("audit_seconds"));
+}
+
+TEST(Runner, TracedSweepWritesChromeJsonAndChangesNoResultBytes) {
+  const auto baseline = run_sweep(small_two_axis_spec(), 2);
+  SweepSpec traced_spec = small_two_axis_spec();
+  traced_spec.trace = ::testing::TempDir() + "eotora_runner_trace.json";
+  const auto traced = run_sweep(traced_spec, 2);
+  // Tracing is inert: deterministic artifact bytes are unchanged.
+  EXPECT_EQ(strip_timing(baseline.to_json()).dump(),
+            strip_timing(traced.to_json()).dump());
+  // And the trace file is a well-formed, non-empty Chrome trace with
+  // monotone timestamps.
+  std::ifstream in(traced_spec.trace);
+  ASSERT_TRUE(in.good()) << traced_spec.trace;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const util::Json doc = util::Json::parse(buffer.str());
+  const util::Json& events = doc.at("traceEvents");
+  ASSERT_GT(events.size(), 0u);
+  double last_ts = -1.0;
+  bool saw_cell_span = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const double ts = events.at(i).at("ts").as_number();
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    saw_cell_span |= events.at(i).at("name").as_string() == "sweep/cell";
+  }
+  EXPECT_TRUE(saw_cell_span);
+  std::remove(traced_spec.trace.c_str());
 }
 
 TEST(Runner, StreamingAuditedSweepStaysClean) {

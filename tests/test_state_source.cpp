@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -198,6 +199,102 @@ TEST(PrefetchSourceTest, ResetReplays) {
   for (std::size_t t = 0; t < first.size(); ++t) {
     expect_states_equal(first[t], second[t], t);
   }
+}
+
+// Streams `good_slots` states from a ScenarioSource, then throws from
+// next() — the producer-side failure mode (e.g. a ReplaySource hitting a
+// malformed CSV row mid-stream).
+class ThrowingSource final : public StateSource {
+ public:
+  ThrowingSource(const ScenarioConfig& config, std::size_t good_slots)
+      : inner_(config, good_slots + 1), good_slots_(good_slots) {}
+
+  bool next(core::SlotState& out) override {
+    if (produced_ >= good_slots_) {
+      throw std::runtime_error("synthetic stream failure");
+    }
+    ++produced_;
+    return inner_.next(out);
+  }
+  void reset() override {
+    inner_.reset();
+    produced_ = 0;
+  }
+
+ private:
+  ScenarioSource inner_;
+  std::size_t good_slots_;
+  std::size_t produced_ = 0;
+};
+
+// The PR 5 bugfix: a producer error must NOT jump the queue. Every slot
+// the inner source produced before throwing is delivered first — prefetch
+// matches plain streaming slot-for-slot up to the failure — and only then
+// does next() rethrow.
+TEST(PrefetchSourceTest, DrainsProducedSlotsBeforeRethrowingProducerError) {
+  constexpr std::size_t kGoodSlots = 8;
+  // Reference: drain the throwing source directly (plain streaming).
+  ThrowingSource reference(tiny(), kGoodSlots);
+  std::vector<core::SlotState> expected;
+  core::SlotState buffer;
+  for (std::size_t t = 0; t < kGoodSlots; ++t) {
+    ASSERT_TRUE(reference.next(buffer));
+    expected.push_back(buffer);
+  }
+  EXPECT_THROW(reference.next(buffer), std::runtime_error);
+
+  ThrowingSource inner(tiny(), kGoodSlots);
+  // depth > good_slots lets the producer buffer everything AND hit the
+  // error long before the consumer asks — the order the old code got wrong.
+  PrefetchSource prefetch(inner, /*depth=*/kGoodSlots + 2);
+  std::vector<core::SlotState> streamed;
+  try {
+    core::SlotState state;
+    while (prefetch.next(state)) streamed.push_back(state);
+    FAIL() << "prefetch swallowed the producer error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "synthetic stream failure");
+  }
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (std::size_t t = 0; t < expected.size(); ++t) {
+    expect_states_equal(streamed[t], expected[t], t);
+  }
+}
+
+// After the rethrow the stream is terminal: subsequent next() calls keep
+// rethrowing the same error rather than resuming data delivery or
+// reporting a clean end of stream. reset() recovers.
+TEST(PrefetchSourceTest, ProducerErrorIsTerminalUntilReset) {
+  constexpr std::size_t kGoodSlots = 3;
+  ThrowingSource inner(tiny(), kGoodSlots);
+  PrefetchSource prefetch(inner, /*depth=*/kGoodSlots + 2);
+  core::SlotState state;
+  std::size_t delivered = 0;
+  try {
+    while (prefetch.next(state)) ++delivered;
+    FAIL() << "prefetch swallowed the producer error";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(delivered, kGoodSlots);
+  // Still throwing — and still the SAME error, not a clean end.
+  EXPECT_THROW(prefetch.next(state), std::runtime_error);
+  EXPECT_THROW(prefetch.next(state), std::runtime_error);
+  // reset() rewinds the inner source and clears the error.
+  prefetch.reset();
+  EXPECT_TRUE(prefetch.next(state));
+}
+
+TEST(PrefetchSourceTest, StatsCountDeliveriesAndRestartOnReset) {
+  ScenarioSource inner(tiny(), 7);
+  PrefetchSource prefetch(inner);
+  const auto first = drain(prefetch);
+  ASSERT_EQ(first.size(), 7u);
+  const auto stats = prefetch.stats();
+  EXPECT_EQ(stats.delivered, 7u);
+  EXPECT_GE(stats.max_ready_depth, 1u);
+  EXPECT_GE(stats.ready_depth_sum, stats.delivered);
+  prefetch.reset();
+  EXPECT_EQ(prefetch.stats().delivered, 0u);
 }
 
 // The tentpole guarantee: for EVERY registered policy and several seeds,
