@@ -48,6 +48,8 @@ options (all --key=value):
   --trace-out  record execution trace spans (per-slot phases, solver
              stages) and write Chrome chrome://tracing JSON to this path;
              tracing never changes results or the printed counters
+  --list-policies  print every registry policy name with a one-line
+             description, then exit
   --help     this text
 
 Deterministic solver counters (best-response rounds, accepted moves, BDMA
@@ -98,9 +100,15 @@ int main(int argc, char** argv) {
                           {"policy", "devices", "days", "horizon", "budget",
                            "v", "q0", "z", "seed", "record", "replay", "log",
                            "stream", "prefetch", "audit", "trace-out",
-                           "help"});
+                           "list-policies", "help"});
     if (args.has("help")) {
       print_usage();
+      return 0;
+    }
+    if (args.has("list-policies")) {
+      for (const auto& name : sim::registered_policies()) {
+        std::cout << name << "  " << sim::policy_description(name) << "\n";
+      }
       return 0;
     }
 
@@ -253,6 +261,7 @@ int main(int argc, char** argv) {
         if (auditing) auditor.observe(state, slot);
       }
       result.wall_seconds = timer.elapsed_seconds();
+      result.stages = policy->stage_stats();
       result.audit = auditor.report();
       log.close();
       std::cout << "wrote per-slot log to " << args.get("log", "") << "\n";
@@ -275,6 +284,7 @@ int main(int argc, char** argv) {
         if (auditing) auditor.observe(state, slot);
       }
       result.wall_seconds = timer.elapsed_seconds();
+      result.stages = policy->stage_stats();
       result.audit = auditor.report();
       log.save(args.get("log", ""));
       std::cout << "wrote per-slot log to " << args.get("log", "") << "\n";
@@ -300,6 +310,11 @@ int main(int argc, char** argv) {
     // Deterministic for a fixed scenario + seed, so this line is also a
     // quick reproducibility check across machines.
     std::cout << "counters: " << result.counters.to_json().dump() << "\n";
+    // Pipeline policies also break the same totals down per stage.
+    for (const auto& stage : result.stages) {
+      std::cout << "stage " << stage.name << ": runs=" << stage.runs
+                << " counters=" << stage.counters.to_json().dump() << "\n";
+    }
     if (prefetch_source != nullptr) {
       const auto stats = prefetch_source->stats();
       std::cout << "prefetch: delivered=" << stats.delivered

@@ -11,6 +11,69 @@
 
 namespace eotora::core {
 
+void bdma_begin_slot(const Instance& instance, const SlotState& state,
+                     BdmaWorkspace& workspace, BdmaLoopState& loop) {
+  // Line 1 of Algorithm 2: Ω starts at the lowest feasible frequencies.
+  loop.omega = instance.min_frequencies();
+  workspace.problem.rebuild(instance, state, loop.omega);
+  loop.previous = SolveResult{};
+  loop.best = BdmaResult{};
+  loop.best.objective = std::numeric_limits<double>::infinity();
+}
+
+void bdma_p2a_iterate(const Instance& instance, const SlotState& state,
+                      const BdmaConfig& config, std::size_t iteration,
+                      util::Rng& rng, BdmaWorkspace& workspace,
+                      BdmaLoopState& loop) {
+  (void)state;
+  counters::active().bdma_iterations += 1;
+  WcgProblem& problem = workspace.problem;
+  // bdma_begin_slot already installed Ω^L; only re-derive the compute
+  // weights once P2-B has produced new frequencies.
+  if (iteration > 0) problem.set_frequencies(instance, loop.omega);
+  // Line 3: solve P2-A at the current Ω.
+  switch (config.solver) {
+    case P2aSolverKind::kCgba:
+      loop.p2a = (iteration == 0 || loop.previous.profile.empty())
+                     ? cgba(problem, config.cgba, rng)
+                     : cgba_from(problem, config.cgba, loop.previous.profile);
+      break;
+    case P2aSolverKind::kMcba:
+      loop.p2a = mcba(problem, config.mcba, rng);
+      break;
+    case P2aSolverKind::kRopt:
+      loop.p2a = ropt(problem, rng);
+      break;
+  }
+  loop.previous = loop.p2a;
+  loop.best.p2a_iterations += loop.p2a.iterations;
+  loop.assignment = problem.to_assignment(loop.p2a.profile);
+}
+
+void bdma_p2b_iterate(const Instance& instance, const SlotState& state,
+                      double v, double q, const BdmaConfig& config,
+                      BdmaLoopState& loop) {
+  // Line 4: solve P2-B at the fixed assignment.
+  const P2bResult p2b = solve_p2b(instance, state, loop.assignment, v, q,
+                                  config.freq_tolerance);
+  loop.best.objective_history.push_back(p2b.objective);
+  // Lines 5-8: keep the best pair by the P2 objective.
+  if (p2b.objective < loop.best.objective) {
+    loop.best.objective = p2b.objective;
+    loop.best.assignment = loop.assignment;
+    loop.best.frequencies = p2b.frequencies;
+  }
+  loop.omega = p2b.frequencies;
+}
+
+void bdma_finish_slot(const Instance& instance, const SlotState& state,
+                      BdmaLoopState& loop) {
+  loop.best.latency = reduced_latency(instance, state, loop.best.assignment,
+                                      loop.best.frequencies);
+  loop.best.theta =
+      instance.theta(loop.best.frequencies, state.price_per_mwh);
+}
+
 BdmaResult bdma(const Instance& instance, const SlotState& state, double v,
                 double q, const BdmaConfig& config, util::Rng& rng) {
   BdmaWorkspace workspace;
@@ -24,57 +87,15 @@ BdmaResult bdma(const Instance& instance, const SlotState& state, double v,
   EOTORA_REQUIRE_MSG(v >= 0.0, "V=" << v);
   EOTORA_REQUIRE_MSG(q >= 0.0, "Q=" << q);
 
-  // Line 1 of Algorithm 2: Ω starts at the lowest feasible frequencies.
-  Frequencies omega = instance.min_frequencies();
-  WcgProblem& problem = workspace.problem;
-  problem.rebuild(instance, state, omega);
-
-  BdmaResult best;
-  best.objective = std::numeric_limits<double>::infinity();
-
-  counters::active().bdma_iterations += config.iterations;
-
-  SolveResult previous;  // warm start for iterations > 1
+  BdmaLoopState loop;
+  bdma_begin_slot(instance, state, workspace, loop);
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     EOTORA_TRACE_SPAN("bdma/iteration");
-    // rebuild() above already installed Ω^L; only re-derive the compute
-    // weights once P2-B has produced new frequencies.
-    if (iter > 0) problem.set_frequencies(instance, omega);
-    // Line 3: solve P2-A at the current Ω.
-    SolveResult p2a;
-    switch (config.solver) {
-      case P2aSolverKind::kCgba:
-        p2a = (iter == 0 || previous.profile.empty())
-                  ? cgba(problem, config.cgba, rng)
-                  : cgba_from(problem, config.cgba, previous.profile);
-        break;
-      case P2aSolverKind::kMcba:
-        p2a = mcba(problem, config.mcba, rng);
-        break;
-      case P2aSolverKind::kRopt:
-        p2a = ropt(problem, rng);
-        break;
-    }
-    previous = p2a;
-    best.p2a_iterations += p2a.iterations;
-    const Assignment assignment = problem.to_assignment(p2a.profile);
-    // Line 4: solve P2-B at the fixed assignment.
-    const P2bResult p2b = solve_p2b(instance, state, assignment, v, q,
-                                    config.freq_tolerance);
-    best.objective_history.push_back(p2b.objective);
-    // Lines 5-8: keep the best pair by the P2 objective.
-    if (p2b.objective < best.objective) {
-      best.objective = p2b.objective;
-      best.assignment = assignment;
-      best.frequencies = p2b.frequencies;
-    }
-    omega = p2b.frequencies;
+    bdma_p2a_iterate(instance, state, config, iter, rng, workspace, loop);
+    bdma_p2b_iterate(instance, state, v, q, config, loop);
   }
-
-  best.latency =
-      reduced_latency(instance, state, best.assignment, best.frequencies);
-  best.theta = instance.theta(best.frequencies, state.price_per_mwh);
-  return best;
+  bdma_finish_slot(instance, state, loop);
+  return std::move(loop.best);
 }
 
 }  // namespace eotora::core

@@ -51,6 +51,43 @@ struct BdmaWorkspace {
   WcgProblem problem;
 };
 
+// The loop-carried state of Algorithm 2, exposed so the per-iteration
+// halves below can be driven either by bdma() or one half at a time by the
+// sim::pipeline P2-A / P2-B stages. bdma() and a stage-driven loop execute
+// the exact same statements in the exact same order, so their results are
+// bit-identical by construction.
+struct BdmaLoopState {
+  Frequencies omega;      // Ω fed into the next P2-A solve
+  SolveResult previous;   // last P2-A solution (CGBA warm start)
+  SolveResult p2a;        // current iteration's P2-A solution
+  Assignment assignment;  // current iteration's (x, y)
+  BdmaResult best;        // lines 5-8: running best by the P2 objective
+};
+
+// Line 1 of Algorithm 2: reset `loop`, set Ω = Ω^L, and rebuild the
+// workspace problem for this slot's state.
+void bdma_begin_slot(const Instance& instance, const SlotState& state,
+                     BdmaWorkspace& workspace, BdmaLoopState& loop);
+
+// Line 3: one P2-A solve at the current Ω (`iteration` is 0-based; the
+// first iteration keeps the frequencies installed by bdma_begin_slot, later
+// ones re-derive the compute weights from loop.omega first).
+void bdma_p2a_iterate(const Instance& instance, const SlotState& state,
+                      const BdmaConfig& config, std::size_t iteration,
+                      util::Rng& rng, BdmaWorkspace& workspace,
+                      BdmaLoopState& loop);
+
+// Lines 4-8: one P2-B solve at the fixed assignment, best-pair tracking by
+// the P2 objective, and the Ω hand-off to the next iteration.
+void bdma_p2b_iterate(const Instance& instance, const SlotState& state,
+                      double v, double q, const BdmaConfig& config,
+                      BdmaLoopState& loop);
+
+// Derives the reported latency and Θ for loop.best after the last
+// iteration (Algorithm 2's return values).
+void bdma_finish_slot(const Instance& instance, const SlotState& state,
+                      BdmaLoopState& loop);
+
 // Solves P2 at one slot. `v` is the DPP weight V, `q` the current queue
 // backlog Q(t).
 [[nodiscard]] BdmaResult bdma(const Instance& instance, const SlotState& state,

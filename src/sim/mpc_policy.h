@@ -37,6 +37,52 @@ struct MpcConfig {
   core::CgbaConfig cgba;
 };
 
+// The inputs one MPC plan is solved against: per-slot price and load-scale
+// forecasts over the look-ahead window (slot 0 is the observed slot) and
+// the budget the forecast spend must fit. Before the trend estimators have
+// seen every phase this degrades to a window of one at the observed price
+// (the greedy per-slot-budget bootstrap).
+struct MpcPlanInputs {
+  std::vector<double> prices;
+  std::vector<double> load_scale;
+  double budget = 0.0;
+};
+
+// The MPC math, exposed as free functions so the monolithic MpcPolicy and
+// the sim::pipeline MPC stages drive the exact same code (bit-identical
+// plans by construction).
+
+// Per-server load sums A_n = Σ_i sqrt(F_i / e_{i,n}) under `assignment`.
+[[nodiscard]] std::vector<double> mpc_compute_load(
+    const core::Instance& instance, const core::SlotState& state,
+    const core::Assignment& assignment);
+
+// Frequencies minimizing  A_n/capacity(ω) + λ·price·cost(ω)  per server.
+[[nodiscard]] core::Frequencies mpc_frequencies_for(
+    const core::Instance& instance, const std::vector<double>& compute_load,
+    double lambda, double price);
+
+// Total energy cost of the forecast window at multiplier λ.
+[[nodiscard]] double mpc_window_cost(const core::Instance& instance,
+                                     const std::vector<double>& compute_load,
+                                     double lambda,
+                                     const std::vector<double>& prices,
+                                     const std::vector<double>& load_scale);
+
+// Certainty-equivalence forecast of the window from the online trends, or
+// the bootstrap window-of-one when either estimator is not ready yet.
+[[nodiscard]] MpcPlanInputs mpc_plan_inputs(
+    const MpcConfig& config, const core::Instance& instance,
+    const core::SlotState& state,
+    const trace::OnlineTrendEstimator& price_trend,
+    const trace::OnlineTrendEstimator& demand_trend);
+
+// One multiplier λ for the whole window, bisected so the forecast spend
+// fits inputs.budget (0 when the unconstrained plan already fits).
+[[nodiscard]] double mpc_plan_multiplier(
+    const MpcConfig& config, const core::Instance& instance,
+    const std::vector<double>& compute_load, const MpcPlanInputs& inputs);
+
 class MpcPolicy final : public Policy {
  public:
   MpcPolicy(const core::Instance& instance, MpcConfig config);
@@ -53,17 +99,6 @@ class MpcPolicy final : public Policy {
   [[nodiscard]] bool forecasting() const;
 
  private:
-  // Frequencies minimizing  A_n/capacity(ω) + λ·price·cost(ω)  per server.
-  [[nodiscard]] core::Frequencies frequencies_for(
-      const std::vector<double>& compute_load, double lambda,
-      double price) const;
-  // Total energy cost of the forecast window at multiplier λ.
-  [[nodiscard]] double window_cost(const std::vector<double>& compute_load,
-                                   double lambda,
-                                   const std::vector<double>& prices,
-                                   const std::vector<double>& load_scale)
-      const;
-
   const core::Instance* instance_;
   MpcConfig config_;
   trace::OnlineTrendEstimator price_trend_;

@@ -1,0 +1,49 @@
+// Canned pipeline assemblies — every registry policy, rebuilt as a
+// PolicyGraph of the stages in sim/pipeline/stages.h.
+//
+// Each factory returns a graph whose name() string, RNG draw order, and
+// per-slot results are bit-identical to the monolithic policy it replaces
+// (the monoliths stay in sim/policy.h as the differential-test reference;
+// tests/test_pipeline.cpp compares the two paths slot by slot). The
+// registry (sim/registry.cpp) builds all its policies through these.
+#pragma once
+
+#include <memory>
+
+#include "core/beta_only.h"
+#include "core/cgba.h"
+#include "core/dpp.h"
+#include "core/instance.h"
+#include "sim/mpc_policy.h"
+#include "sim/policy.h"
+
+namespace eotora::sim::pipeline {
+
+// Algorithm 1: StateIn → QueueUpdate → [P2aSolve ⇄ P2bSolve]×z →
+// AuditTap → DppDecisionOut, with the solver loop under the "dpp/bdma"
+// span. Mirrors DppPolicy for any inner P2-A solver.
+[[nodiscard]] std::unique_ptr<Policy> make_dpp_pipeline(
+    const core::Instance& instance, const core::DppConfig& config);
+
+// StateIn → BudgetFrequency → CgbaAssign → AuditTap → CgbaDecisionOut.
+// Mirrors GreedyBudgetPolicy.
+[[nodiscard]] std::unique_ptr<Policy> make_greedy_budget_pipeline(
+    const core::Instance& instance, const core::CgbaConfig& cgba = {});
+
+// StateIn → FixedFrequency → CgbaAssign → AuditTap → CgbaDecisionOut.
+// Mirrors FixedFrequencyPolicy at `fraction`.
+[[nodiscard]] std::unique_ptr<Policy> make_fixed_frequency_pipeline(
+    const core::Instance& instance, double fraction,
+    const core::CgbaConfig& cgba = {});
+
+// StateIn → BetaOracle → AuditTap → BetaDecisionOut. Mirrors
+// BetaOnlyPolicy.
+[[nodiscard]] std::unique_ptr<Policy> make_beta_only_pipeline(
+    const core::Instance& instance, const core::BetaOnlyConfig& config = {});
+
+// StateIn → TrendObserve → MinFrequency → CgbaAssign → MpcPlan →
+// AuditTap → MpcDecisionOut. Mirrors MpcPolicy.
+[[nodiscard]] std::unique_ptr<Policy> make_mpc_pipeline(
+    const core::Instance& instance, const MpcConfig& config = {});
+
+}  // namespace eotora::sim::pipeline

@@ -1,0 +1,81 @@
+// PolicyGraph — an ordered set of typed stages assembled into a runnable
+// sim::Policy.
+//
+// The graph is linear with one optional loop region (BDMA's Algorithm 2
+// alternates its P2-A and P2-B stages z times). Construction validates the
+// typed-port contract: every stage input must be produced by an upstream
+// stage with the same name AND type — except inside the loop region, where
+// a later stage may feed an earlier one on the next iteration
+// (loop-carried, e.g. P2-B's frequencies into P2-A). Violations throw
+// std::invalid_argument naming the stage, the port, the expected and
+// actual types, and the ports that ARE available.
+//
+// Execution maps the observability layer 1:1 onto stage boundaries: every
+// stage invocation runs under its own trace span (Stage::span_name) and
+// its own SolverCounters scope, whose delta is folded both into the
+// per-stage StageStats and forward into the caller's active() sink — so a
+// graph-assembled policy reports the exact same per-solve totals as the
+// monolith it replaces, plus the per-stage breakdown.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/pipeline/stage.h"
+#include "sim/policy.h"
+
+namespace eotora::sim::pipeline {
+
+// The loop region: stages [first, last] (inclusive) run `iterations`
+// times per slot. `span` wraps the whole region once per slot (the legacy
+// "dpp/bdma" span), `iteration_span` each pass ("bdma/iteration"); both
+// must be string literals or nullptr to disable.
+struct LoopSpec {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::size_t iterations = 0;  // 0 = no loop region
+  const char* span = nullptr;
+  const char* iteration_span = nullptr;
+};
+
+class PolicyGraph final : public Policy {
+ public:
+  // `label` is the Policy::name() the graph reports (kept identical to the
+  // monolithic policy the assembly replaces, so artifacts and golden
+  // fixtures are unchanged). Throws std::invalid_argument on an empty
+  // stage list, an out-of-range loop region, or any typed-port mismatch.
+  PolicyGraph(std::string label, const core::Instance& instance,
+              std::vector<std::unique_ptr<Stage>> stages,
+              LoopSpec loop = {});
+
+  core::DppSlotResult step(const core::SlotState& state,
+                           util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return label_; }
+  void reset() override;
+
+  // Per-stage execution statistics since the last reset(), in stage order.
+  [[nodiscard]] std::vector<StageStats> stage_stats() const override;
+
+  // The stage with the given Stage::name(), or nullptr. Lets callers reach
+  // a stage's own surface (e.g. AuditTapStage::set_tap) after assembly.
+  [[nodiscard]] Stage* find_stage(const std::string& name);
+
+  [[nodiscard]] std::size_t num_stages() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Stage> stage;
+    StageStats stats;
+  };
+
+  void run_slot(Slot& slot, StageContext& ctx);
+
+  std::string label_;
+  const core::Instance* instance_;
+  std::vector<Slot> slots_;
+  LoopSpec loop_;
+  StageContext ctx_;
+};
+
+}  // namespace eotora::sim::pipeline

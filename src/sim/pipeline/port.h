@@ -1,0 +1,43 @@
+// Typed ports — the stage-to-stage contract of the decision pipeline.
+//
+// A stage declares which named, typed values it reads (inputs) and writes
+// (outputs). The payloads themselves live in fixed slots of StageContext
+// (sim/pipeline/stage.h) so the per-slot hot path stays free of any-casts
+// and lookups; the PortSpec lists are the *metadata* a PolicyGraph
+// validates at construction time. A graph whose stages disagree — a
+// consumer whose input port nobody upstream produces, or produced under a
+// different type — fails with a descriptive std::invalid_argument before a
+// single slot runs, BESS-style (named modules, typed gates, connect-time
+// checking).
+#pragma once
+
+namespace eotora::sim::pipeline {
+
+// The payload type carried by a port. Each enumerator corresponds to one
+// StageContext slot (see stage.h).
+enum class PortType {
+  kSlotState,     // the observed β_t (StageContext::state)
+  kQueue,         // virtual-queue backlog Q(t) (ctx.queue_before)
+  kFrequencies,   // a Frequencies vector Ω (ctx.frequencies)
+  kP2aSolution,   // a P2-A SolveResult (ctx.p2a)
+  kAssignment,    // an Assignment (x, y) (ctx.assignment)
+  kSolverLoop,    // BDMA's loop-carried state (ctx.bdma)
+  kBestSolution,  // BDMA's best (x, y, Ω) so far (ctx.bdma.best)
+  kOracle,        // a BetaOnlyResult (ctx.oracle)
+  kForecast,      // MPC plan inputs (ctx.forecast)
+  kDecision,      // the assembled DppSlotResult (ctx.result)
+};
+
+// Human-readable name of a PortType ("SlotState", "Queue", ...) for error
+// messages and docs.
+[[nodiscard]] const char* port_type_name(PortType type);
+
+// One declared port: a stable name plus the payload type. Names are
+// compared as strings; two stages exchanging a value must agree on both
+// the name and the type.
+struct PortSpec {
+  const char* name;
+  PortType type;
+};
+
+}  // namespace eotora::sim::pipeline

@@ -1,0 +1,169 @@
+#include "sim/pipeline/stages.h"
+
+#include <algorithm>
+
+#include "core/cgba.h"
+#include "core/latency.h"
+#include "core/lemma1.h"
+#include "sim/policy.h"
+#include "util/check.h"
+
+namespace eotora::sim::pipeline {
+
+void StateInStage::run(StageContext& ctx) {
+  EOTORA_ASSERT(ctx.instance != nullptr);
+  EOTORA_ASSERT(ctx.state != nullptr);
+  EOTORA_ASSERT(ctx.rng != nullptr);
+}
+
+QueueUpdateStage::QueueUpdateStage(double initial_queue)
+    : initial_queue_(initial_queue), queue_(initial_queue) {
+  EOTORA_REQUIRE_MSG(initial_queue >= 0.0, "Q(1)=" << initial_queue);
+}
+
+void QueueUpdateStage::run(StageContext& ctx) { ctx.queue_before = queue_; }
+
+void QueueUpdateStage::commit(StageContext& ctx) {
+  // Eq. (21): queue update, from the Θ the decision stage emitted.
+  queue_ = std::max(queue_ + ctx.result.theta, 0.0);
+  ctx.result.queue_after = queue_;
+}
+
+void P2aSolveStage::run(StageContext& ctx) {
+  if (ctx.loop_iteration == 0) {
+    core::bdma_begin_slot(*ctx.instance, *ctx.state, workspace_, ctx.bdma);
+  }
+  core::bdma_p2a_iterate(*ctx.instance, *ctx.state, config_,
+                         ctx.loop_iteration, *ctx.rng, workspace_, ctx.bdma);
+}
+
+void P2bSolveStage::run(StageContext& ctx) {
+  core::bdma_p2b_iterate(*ctx.instance, *ctx.state, v_, ctx.queue_before,
+                         config_, ctx.bdma);
+}
+
+void AuditTapStage::run(StageContext& ctx) {
+  if (tap_) tap_(ctx);
+}
+
+void DppDecisionOutStage::run(StageContext& ctx) {
+  core::bdma_finish_slot(*ctx.instance, *ctx.state, ctx.bdma);
+  const core::BdmaResult& best = ctx.bdma.best;
+  ctx.result.queue_before = ctx.queue_before;
+  ctx.result.decision.assignment = best.assignment;
+  ctx.result.decision.frequencies = best.frequencies;
+  ctx.result.decision.allocation =
+      core::optimal_allocation(*ctx.instance, *ctx.state, best.assignment);
+  ctx.result.latency = best.latency;
+  ctx.result.theta = best.theta;
+  ctx.result.energy_cost = best.theta + ctx.instance->budget_per_slot();
+  ctx.result.objective = best.objective;
+  ctx.result.p2a_iterations = best.p2a_iterations;
+}
+
+void BudgetFrequencyStage::run(StageContext& ctx) {
+  const double fraction =
+      greedy_budget_fraction(*ctx.instance, ctx.state->price_per_mwh);
+  ctx.frequencies = frequencies_at_fraction(*ctx.instance, fraction);
+}
+
+FixedFrequencyStage::FixedFrequencyStage(const core::Instance& instance,
+                                         double fraction) {
+  EOTORA_REQUIRE_MSG(fraction >= 0.0 && fraction <= 1.0,
+                     "fraction=" << fraction);
+  frequencies_ = frequencies_at_fraction(instance, fraction);
+}
+
+void FixedFrequencyStage::run(StageContext& ctx) {
+  ctx.frequencies = frequencies_;
+}
+
+void MinFrequencyStage::run(StageContext& ctx) {
+  ctx.frequencies = ctx.instance->min_frequencies();
+}
+
+void CgbaAssignStage::run(StageContext& ctx) {
+  problem_.rebuild(*ctx.instance, *ctx.state, ctx.frequencies);
+  ctx.p2a = core::cgba(problem_, config_, *ctx.rng);
+  ctx.assignment = problem_.to_assignment(ctx.p2a.profile);
+}
+
+void CgbaDecisionOutStage::run(StageContext& ctx) {
+  ctx.result.decision.assignment = ctx.assignment;
+  ctx.result.decision.frequencies = ctx.frequencies;
+  ctx.result.decision.allocation =
+      core::optimal_allocation(*ctx.instance, *ctx.state, ctx.assignment);
+  ctx.result.latency = ctx.p2a.cost;
+  ctx.result.energy_cost =
+      ctx.instance->energy_cost(ctx.frequencies, ctx.state->price_per_mwh);
+  ctx.result.theta =
+      ctx.result.energy_cost - ctx.instance->budget_per_slot();
+  ctx.result.p2a_iterations = ctx.p2a.iterations;
+}
+
+void BetaOracleStage::run(StageContext& ctx) {
+  ctx.oracle =
+      core::solve_beta_only(*ctx.instance, *ctx.state,
+                            ctx.instance->budget_per_slot(), config_,
+                            *ctx.rng);
+}
+
+void BetaDecisionOutStage::run(StageContext& ctx) {
+  const double budget = ctx.instance->budget_per_slot();
+  ctx.result.decision.assignment = ctx.oracle.assignment;
+  ctx.result.decision.frequencies = ctx.oracle.frequencies;
+  ctx.result.decision.allocation = core::optimal_allocation(
+      *ctx.instance, *ctx.state, ctx.oracle.assignment);
+  ctx.result.latency = ctx.oracle.latency;
+  ctx.result.energy_cost = ctx.oracle.energy_cost;
+  ctx.result.theta = ctx.oracle.energy_cost - budget;
+}
+
+TrendObserveStage::TrendObserveStage(MpcConfig config)
+    : config_(config),
+      price_trend_(config.period, config.trend_alpha),
+      demand_trend_(config.period, config.trend_alpha) {}
+
+void TrendObserveStage::run(StageContext& ctx) {
+  price_trend_.observe(ctx.state->price_per_mwh);
+  double mean_demand = 0.0;
+  for (double f : ctx.state->task_cycles) mean_demand += f;
+  mean_demand /= static_cast<double>(ctx.state->task_cycles.size());
+  demand_trend_.observe(mean_demand);
+  ctx.forecast = mpc_plan_inputs(config_, *ctx.instance, *ctx.state,
+                                 price_trend_, demand_trend_);
+}
+
+void TrendObserveStage::reset() {
+  price_trend_ =
+      trace::OnlineTrendEstimator(config_.period, config_.trend_alpha);
+  demand_trend_ =
+      trace::OnlineTrendEstimator(config_.period, config_.trend_alpha);
+}
+
+void MpcPlanStage::run(StageContext& ctx) {
+  const std::vector<double> compute_load =
+      mpc_compute_load(*ctx.instance, *ctx.state, ctx.assignment);
+  const double lambda =
+      mpc_plan_multiplier(config_, *ctx.instance, compute_load, ctx.forecast);
+  last_multiplier_ = lambda;
+  ctx.multiplier = lambda;
+  ctx.frequencies = mpc_frequencies_for(*ctx.instance, compute_load, lambda,
+                                        ctx.state->price_per_mwh);
+}
+
+void MpcDecisionOutStage::run(StageContext& ctx) {
+  ctx.result.decision.assignment = ctx.assignment;
+  ctx.result.decision.frequencies = ctx.frequencies;
+  ctx.result.decision.allocation =
+      core::optimal_allocation(*ctx.instance, *ctx.state, ctx.assignment);
+  ctx.result.latency = core::reduced_latency(*ctx.instance, *ctx.state,
+                                             ctx.assignment, ctx.frequencies);
+  ctx.result.energy_cost =
+      ctx.instance->energy_cost(ctx.frequencies, ctx.state->price_per_mwh);
+  ctx.result.theta =
+      ctx.result.energy_cost - ctx.instance->budget_per_slot();
+  ctx.result.p2a_iterations = ctx.p2a.iterations;
+}
+
+}  // namespace eotora::sim::pipeline

@@ -1,0 +1,393 @@
+// The stage catalog — every concrete Stage the canned assemblies
+// (sim/pipeline/assemblies.h) are built from.
+//
+// Port map (name → PortType → StageContext slot):
+//   "state"      kSlotState    ctx.state        (StateIn)
+//   "queue"      kQueue        ctx.queue_before (QueueUpdate)
+//   "frequencies" kFrequencies ctx.frequencies  (frequency-choosing stages)
+//   "p2a"        kP2aSolution  ctx.p2a          (CgbaAssign)
+//   "assignment" kAssignment   ctx.assignment   (CgbaAssign)
+//   "bdma_loop"  kSolverLoop   ctx.bdma         (P2aSolve/P2bSolve,
+//                                                loop-carried)
+//   "best"       kBestSolution ctx.bdma.best    (P2bSolve)
+//   "oracle"     kOracle       ctx.oracle       (BetaOracle)
+//   "forecast"   kForecast     ctx.forecast     (TrendObserve)
+//   "decision"   kDecision     ctx.result       (*DecisionOut)
+//
+// Every stage's run() body is either a call into the shared solver-loop
+// functions (core/bdma.h) or a verbatim transcription of the monolithic
+// policy statements it replaces, so graph-assembled policies are
+// bit-identical to the monoliths (tests/test_pipeline.cpp holds the line).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/bdma.h"
+#include "core/beta_only.h"
+#include "core/wcg.h"
+#include "sim/mpc_policy.h"
+#include "sim/pipeline/stage.h"
+#include "trace/online_trend.h"
+
+namespace eotora::sim::pipeline {
+
+// Publishes the observed slot state. The graph installs ctx.state before
+// any stage runs; this stage is the declared producer every consumer of
+// "state" validates against.
+class StateInStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "state_in"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/state_in";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override { return {}; }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"state", PortType::kSlotState}};
+  }
+  void run(StageContext& ctx) override;
+};
+
+// Owns the virtual queue Q(t) of Eq. (21). run() publishes the backlog the
+// solvers price against; commit() — after the decision stage has emitted
+// Θ — folds it back: Q(t+1) = max{Q(t) + Θ, 0}.
+class QueueUpdateStage final : public Stage {
+ public:
+  explicit QueueUpdateStage(double initial_queue);
+
+  [[nodiscard]] const char* name() const override { return "queue_update"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/queue_update";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"queue", PortType::kQueue}};
+  }
+  void run(StageContext& ctx) override;
+  void commit(StageContext& ctx) override;
+  void reset() override { queue_ = initial_queue_; }
+
+  [[nodiscard]] double queue() const { return queue_; }
+
+ private:
+  double initial_queue_;
+  double queue_;
+};
+
+// Line 3 of Algorithm 2: one P2-A solve at the current Ω. Owns the BDMA
+// workspace (WCG arena + warm-start profile); the first loop iteration of
+// each slot runs bdma_begin_slot. Its "bdma_loop" input is loop-carried:
+// iteration k+1 consumes the Ω the downstream P2-B stage wrote at k.
+class P2aSolveStage final : public Stage {
+ public:
+  explicit P2aSolveStage(core::BdmaConfig config) : config_(config) {}
+
+  [[nodiscard]] const char* name() const override { return "p2a_solve"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/p2a_solve";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState},
+            {"bdma_loop", PortType::kSolverLoop}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"bdma_loop", PortType::kSolverLoop}};
+  }
+  void run(StageContext& ctx) override;
+  void reset() override { workspace_ = core::BdmaWorkspace{}; }
+
+ private:
+  core::BdmaConfig config_;
+  core::BdmaWorkspace workspace_;
+};
+
+// Lines 4-8 of Algorithm 2: one P2-B solve at the fixed assignment, the
+// best-pair tracking, and the Ω hand-off to the next P2-A iteration.
+class P2bSolveStage final : public Stage {
+ public:
+  P2bSolveStage(double v, core::BdmaConfig config) : v_(v), config_(config) {}
+
+  [[nodiscard]] const char* name() const override { return "p2b_solve"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/p2b_solve";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState},
+            {"queue", PortType::kQueue},
+            {"bdma_loop", PortType::kSolverLoop}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"bdma_loop", PortType::kSolverLoop},
+            {"best", PortType::kBestSolution}};
+  }
+  void run(StageContext& ctx) override;
+
+ private:
+  double v_;
+  core::BdmaConfig config_;
+};
+
+// Observation point between the solvers and the decision: calls the
+// installed tap (if any) with the full context. Reads everything, writes
+// nothing — the hook per-slot auditors and tests attach to.
+class AuditTapStage final : public Stage {
+ public:
+  using Tap = std::function<void(const StageContext&)>;
+
+  [[nodiscard]] const char* name() const override { return "audit_tap"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/audit_tap";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override { return {}; }
+  void run(StageContext& ctx) override;
+
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+ private:
+  Tap tap_;
+};
+
+// Assembles the DPP slot decision from BDMA's best pair (the tail of
+// DppController::step).
+class DppDecisionOutStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "decision_out"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/decision_out";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState},
+            {"queue", PortType::kQueue},
+            {"best", PortType::kBestSolution}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"decision", PortType::kDecision}};
+  }
+  void run(StageContext& ctx) override;
+};
+
+// The greedy per-slot-budget frequency rule (GreedyBudgetPolicy's
+// bisection): the largest uniform fraction whose cost fits C̄ at the
+// current price.
+class BudgetFrequencyStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "budget_frequency";
+  }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/budget_frequency";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"frequencies", PortType::kFrequencies}};
+  }
+  void run(StageContext& ctx) override;
+};
+
+// A constant frequency vector at a fixed fraction of every server's range
+// (FixedFrequencyPolicy's ablation knob), precomputed at construction.
+class FixedFrequencyStage final : public Stage {
+ public:
+  FixedFrequencyStage(const core::Instance& instance, double fraction);
+
+  [[nodiscard]] const char* name() const override {
+    return "fixed_frequency";
+  }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/fixed_frequency";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override { return {}; }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"frequencies", PortType::kFrequencies}};
+  }
+  void run(StageContext& ctx) override;
+
+ private:
+  core::Frequencies frequencies_;
+};
+
+// The frequency floor Ω^L — MPC's assignment stage selects by load shape,
+// not speed.
+class MinFrequencyStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "min_frequency"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/min_frequency";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override { return {}; }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"frequencies", PortType::kFrequencies}};
+  }
+  void run(StageContext& ctx) override;
+};
+
+// One CGBA assignment solve at the published frequencies. Owns the WCG
+// problem arena (rebuilt in place every slot).
+class CgbaAssignStage final : public Stage {
+ public:
+  explicit CgbaAssignStage(core::CgbaConfig config) : config_(config) {}
+
+  [[nodiscard]] const char* name() const override { return "cgba_assign"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/cgba_assign";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState},
+            {"frequencies", PortType::kFrequencies}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"p2a", PortType::kP2aSolution},
+            {"assignment", PortType::kAssignment}};
+  }
+  void run(StageContext& ctx) override;
+  void reset() override { problem_ = core::WcgProblem{}; }
+
+ private:
+  core::CgbaConfig config_;
+  core::WcgProblem problem_;
+};
+
+// Assembles the slot decision of the CGBA-assignment baselines (the shared
+// tail of GreedyBudgetPolicy::step and FixedFrequencyPolicy::step):
+// latency is the P2-A cost, energy is priced at the published frequencies.
+class CgbaDecisionOutStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "decision_out"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/decision_out";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState},
+            {"frequencies", PortType::kFrequencies},
+            {"p2a", PortType::kP2aSolution},
+            {"assignment", PortType::kAssignment}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"decision", PortType::kDecision}};
+  }
+  void run(StageContext& ctx) override;
+};
+
+// The Lemma-2 β-only oracle solve at the per-slot budget.
+class BetaOracleStage final : public Stage {
+ public:
+  explicit BetaOracleStage(core::BetaOnlyConfig config) : config_(config) {}
+
+  [[nodiscard]] const char* name() const override { return "beta_oracle"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/beta_oracle";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"oracle", PortType::kOracle}};
+  }
+  void run(StageContext& ctx) override;
+
+ private:
+  core::BetaOnlyConfig config_;
+};
+
+// Assembles the slot decision from the β-only oracle (the tail of
+// BetaOnlyPolicy::step).
+class BetaDecisionOutStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "decision_out"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/decision_out";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState},
+            {"oracle", PortType::kOracle}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"decision", PortType::kDecision}};
+  }
+  void run(StageContext& ctx) override;
+};
+
+// Owns MPC's online trend estimators: feeds them the observation, then
+// publishes the certainty-equivalence plan inputs (or the bootstrap
+// window-of-one while not every phase has been seen).
+class TrendObserveStage final : public Stage {
+ public:
+  explicit TrendObserveStage(MpcConfig config);
+
+  [[nodiscard]] const char* name() const override { return "trend_observe"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/trend_observe";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"forecast", PortType::kForecast}};
+  }
+  void run(StageContext& ctx) override;
+  void reset() override;
+
+ private:
+  MpcConfig config_;
+  trace::OnlineTrendEstimator price_trend_;
+  trace::OnlineTrendEstimator demand_trend_;
+};
+
+// MPC's plan: one multiplier λ for the forecast window (bisection), then
+// the current slot's frequencies at that λ. Overwrites the "frequencies"
+// port the assignment floor was published on (declared same-type
+// re-production; last writer wins).
+class MpcPlanStage final : public Stage {
+ public:
+  explicit MpcPlanStage(MpcConfig config) : config_(config) {}
+
+  [[nodiscard]] const char* name() const override { return "mpc_plan"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/mpc_plan";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState},
+            {"assignment", PortType::kAssignment},
+            {"forecast", PortType::kForecast}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"frequencies", PortType::kFrequencies}};
+  }
+  void run(StageContext& ctx) override;
+  void reset() override { last_multiplier_ = 0.0; }
+
+  [[nodiscard]] double last_multiplier() const { return last_multiplier_; }
+
+ private:
+  MpcConfig config_;
+  double last_multiplier_ = 0.0;
+};
+
+// Assembles the MPC slot decision (the tail of MpcPolicy::step): latency
+// re-evaluated at the planned frequencies via reduced_latency.
+class MpcDecisionOutStage final : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override { return "decision_out"; }
+  [[nodiscard]] const char* span_name() const override {
+    return "stage/decision_out";
+  }
+  [[nodiscard]] std::vector<PortSpec> inputs() const override {
+    return {{"state", PortType::kSlotState},
+            {"frequencies", PortType::kFrequencies},
+            {"p2a", PortType::kP2aSolution},
+            {"assignment", PortType::kAssignment}};
+  }
+  [[nodiscard]] std::vector<PortSpec> outputs() const override {
+    return {{"decision", PortType::kDecision}};
+  }
+  void run(StageContext& ctx) override;
+};
+
+}  // namespace eotora::sim::pipeline

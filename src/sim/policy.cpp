@@ -9,6 +9,41 @@
 
 namespace eotora::sim {
 
+core::Frequencies frequencies_at_fraction(const core::Instance& instance,
+                                          double fraction) {
+  const auto lo = instance.min_frequencies();
+  const auto hi = instance.max_frequencies();
+  core::Frequencies freq(lo.size());
+  for (std::size_t n = 0; n < lo.size(); ++n) {
+    freq[n] = lo[n] + fraction * (hi[n] - lo[n]);
+  }
+  return freq;
+}
+
+double greedy_budget_fraction(const core::Instance& instance, double price) {
+  const double budget = instance.budget_per_slot();
+  double fraction = 0.0;
+  if (instance.energy_cost(frequencies_at_fraction(instance, 1.0), price) <=
+      budget) {
+    fraction = 1.0;
+  } else if (instance.energy_cost(frequencies_at_fraction(instance, 0.0),
+                                  price) < budget) {
+    double lo = 0.0;
+    double hi = 1.0;
+    for (int iter = 0; iter < 50; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (instance.energy_cost(frequencies_at_fraction(instance, mid),
+                               price) <= budget) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    fraction = lo;
+  }  // else: even F^L busts the budget — run at the floor.
+  return fraction;
+}
+
 DppPolicy::DppPolicy(const core::Instance& instance, core::DppConfig config)
     : controller_(instance, config), initial_config_(config) {}
 
@@ -35,39 +70,14 @@ GreedyBudgetPolicy::GreedyBudgetPolicy(const core::Instance& instance,
                                        core::CgbaConfig cgba)
     : instance_(&instance), cgba_(cgba) {}
 
-core::Frequencies GreedyBudgetPolicy::frequencies_at(double fraction) const {
-  const auto lo = instance_->min_frequencies();
-  const auto hi = instance_->max_frequencies();
-  core::Frequencies freq(lo.size());
-  for (std::size_t n = 0; n < lo.size(); ++n) {
-    freq[n] = lo[n] + fraction * (hi[n] - lo[n]);
-  }
-  return freq;
-}
-
 core::DppSlotResult GreedyBudgetPolicy::step(const core::SlotState& state,
                                              util::Rng& rng) {
   // Largest uniform fraction whose cost fits the budget at today's price.
   const double budget = instance_->budget_per_slot();
   const double price = state.price_per_mwh;
-  double fraction = 0.0;
-  if (instance_->energy_cost(frequencies_at(1.0), price) <= budget) {
-    fraction = 1.0;
-  } else if (instance_->energy_cost(frequencies_at(0.0), price) < budget) {
-    double lo = 0.0;
-    double hi = 1.0;
-    for (int iter = 0; iter < 50; ++iter) {
-      const double mid = 0.5 * (lo + hi);
-      if (instance_->energy_cost(frequencies_at(mid), price) <= budget) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    fraction = lo;
-  }  // else: even F^L busts the budget — run at the floor.
-
-  const core::Frequencies frequencies = frequencies_at(fraction);
+  const double fraction = greedy_budget_fraction(*instance_, price);
+  const core::Frequencies frequencies =
+      frequencies_at_fraction(*instance_, fraction);
   problem_.rebuild(*instance_, state, frequencies);
   const core::SolveResult p2a = core::cgba(problem_, cgba_, rng);
   core::DppSlotResult result;
@@ -108,12 +118,7 @@ FixedFrequencyPolicy::FixedFrequencyPolicy(const core::Instance& instance,
     : instance_(&instance), fraction_(fraction), cgba_(cgba) {
   EOTORA_REQUIRE_MSG(fraction >= 0.0 && fraction <= 1.0,
                      "fraction=" << fraction);
-  const auto lo = instance.min_frequencies();
-  const auto hi = instance.max_frequencies();
-  frequencies_.resize(lo.size());
-  for (std::size_t n = 0; n < lo.size(); ++n) {
-    frequencies_[n] = lo[n] + fraction * (hi[n] - lo[n]);
-  }
+  frequencies_ = frequencies_at_fraction(instance, fraction);
 }
 
 core::DppSlotResult FixedFrequencyPolicy::step(const core::SlotState& state,

@@ -8,10 +8,12 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/beta_only.h"
 #include "core/dpp.h"
 #include "core/instance.h"
+#include "sim/pipeline/stage_stats.h"
 #include "util/rng.h"
 
 namespace eotora::sim {
@@ -28,7 +30,26 @@ class Policy {
 
   // Clears online state (queue backlogs etc.) for a fresh run.
   virtual void reset() = 0;
+
+  // Per-stage execution statistics since the last reset(). Non-empty only
+  // for pipeline-assembled policies (sim/pipeline/graph.h); monolithic
+  // policies report no stage breakdown.
+  [[nodiscard]] virtual std::vector<pipeline::StageStats> stage_stats()
+      const {
+    return {};
+  }
 };
+
+// Frequencies at a uniform fraction of every server's range:
+// Ω_n = F^L_n + fraction·(F^U_n − F^L_n).
+[[nodiscard]] core::Frequencies frequencies_at_fraction(
+    const core::Instance& instance, double fraction);
+
+// The greedy per-slot-budget rule: the largest uniform fraction whose
+// energy cost fits the per-slot budget at `price` (bisection — cost is
+// monotone in the fraction; 0 when even F^L busts the budget).
+[[nodiscard]] double greedy_budget_fraction(const core::Instance& instance,
+                                            double price);
 
 // The paper's Algorithm 1 with a configurable inner solver.
 class DppPolicy final : public Policy {
@@ -64,8 +85,6 @@ class GreedyBudgetPolicy final : public Policy {
   void reset() override {}
 
  private:
-  [[nodiscard]] core::Frequencies frequencies_at(double fraction) const;
-
   const core::Instance* instance_;
   core::CgbaConfig cgba_;
   // Rebuilt in place every step; policies are per-replication objects, so a

@@ -1,0 +1,28 @@
+#include "sim/policy_params.h"
+
+namespace eotora::sim {
+
+core::DppConfig dpp_config_from(const PolicyParams& params,
+                                core::P2aSolverKind solver) {
+  core::DppConfig config;
+  config.v = params.v;
+  config.initial_queue = params.initial_queue;
+  config.bdma.iterations = params.bdma_iterations;
+  config.bdma.solver = solver;
+  config.bdma.mcba.iterations = params.mcba_iterations;
+  return config;
+}
+
+core::BetaOnlyConfig beta_only_config_from(const PolicyParams& params) {
+  core::BetaOnlyConfig config;
+  config.bdma.iterations = params.bdma_iterations;
+  return config;
+}
+
+core::CgbaConfig baseline_cgba_config_from(const PolicyParams&) {
+  return core::CgbaConfig{};
+}
+
+MpcConfig mpc_config_from(const PolicyParams& params) { return params.mpc; }
+
+}  // namespace eotora::sim

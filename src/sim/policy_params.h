@@ -1,0 +1,49 @@
+// PolicyParams — the sweepable policy knobs — and the ONE translation from
+// them into per-policy solver configs.
+//
+// Before this header existed, the registry's builder lambdas were the only
+// place PolicyParams became DppConfig/BetaOnlyConfig/..., so any second
+// construction path (and the pipeline assemblies are exactly that) would
+// have had to duplicate the field mapping and could silently drift. Both
+// sim/registry.cpp and sim/pipeline/assemblies.cpp now consume the
+// *_config_from helpers below; a default or mapping changed here changes
+// every construction path at once.
+#pragma once
+
+#include <cstddef>
+
+#include "core/beta_only.h"
+#include "core/bdma.h"
+#include "core/dpp.h"
+#include "sim/mpc_policy.h"
+
+namespace eotora::sim {
+
+// The constructor knobs a sweep varies. Defaults match the paper scenario
+// (V = 100, z = 5) with a cold virtual queue.
+struct PolicyParams {
+  double v = 100.0;                  // Lyapunov penalty weight
+  double initial_queue = 0.0;        // Q(1) warm start
+  std::size_t bdma_iterations = 5;   // the paper's z
+  std::size_t mcba_iterations = 3000;
+  double fixed_fraction = 1.0;       // for "fixed-frequency"
+  MpcConfig mpc;                     // for "mpc"
+};
+
+// DppConfig for the "dpp-*" family with the given inner P2-A solver.
+[[nodiscard]] core::DppConfig dpp_config_from(const PolicyParams& params,
+                                              core::P2aSolverKind solver);
+
+// BetaOnlyConfig for "beta-only".
+[[nodiscard]] core::BetaOnlyConfig beta_only_config_from(
+    const PolicyParams& params);
+
+// CgbaConfig for the CGBA-assignment baselines ("greedy-budget",
+// "fixed-*"): the registry has always used the plain defaults here.
+[[nodiscard]] core::CgbaConfig baseline_cgba_config_from(
+    const PolicyParams& params);
+
+// MpcConfig for "mpc".
+[[nodiscard]] MpcConfig mpc_config_from(const PolicyParams& params);
+
+}  // namespace eotora::sim

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "sim/pipeline/assemblies.h"
 #include "util/check.h"
 
 namespace eotora::sim {
@@ -13,64 +14,73 @@ namespace {
 using Builder = std::function<std::unique_ptr<Policy>(
     const core::Instance&, const PolicyParams&)>;
 
+// Builder plus the one-liner shown by listings (--list-policies).
+struct Entry {
+  Builder build;
+  const char* description;
+};
+
 std::unique_ptr<Policy> make_dpp(core::P2aSolverKind kind,
                                  const core::Instance& instance,
                                  const PolicyParams& params) {
-  core::DppConfig config;
-  config.v = params.v;
-  config.initial_queue = params.initial_queue;
-  config.bdma.iterations = params.bdma_iterations;
-  config.bdma.solver = kind;
-  config.bdma.mcba.iterations = params.mcba_iterations;
-  return std::make_unique<DppPolicy>(instance, config);
-}
-
-std::unique_ptr<Policy> make_fixed(double fraction,
-                                   const core::Instance& instance) {
-  return std::make_unique<FixedFrequencyPolicy>(instance, fraction);
+  return pipeline::make_dpp_pipeline(instance, dpp_config_from(params, kind));
 }
 
 // std::map keeps registered_policies() sorted with no extra work.
-const std::map<std::string, Builder>& builders() {
-  static const std::map<std::string, Builder> registry = {
+const std::map<std::string, Entry>& entries() {
+  static const std::map<std::string, Entry> registry = {
       {"beta-only",
-       [](const core::Instance& instance, const PolicyParams& params) {
-         core::BetaOnlyConfig config;
-         config.bdma.iterations = params.bdma_iterations;
-         return std::make_unique<BetaOnlyPolicy>(instance, config);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return pipeline::make_beta_only_pipeline(
+              instance, beta_only_config_from(params));
+        },
+        "Lemma-2 per-slot budget oracle (queue-free latency reference)"}},
       {"dpp-bdma",
-       [](const core::Instance& instance, const PolicyParams& params) {
-         return make_dpp(core::P2aSolverKind::kCgba, instance, params);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return make_dpp(core::P2aSolverKind::kCgba, instance, params);
+        },
+        "the paper's DPP controller, BDMA/CGBA inner solver"}},
       {"dpp-mcba",
-       [](const core::Instance& instance, const PolicyParams& params) {
-         return make_dpp(core::P2aSolverKind::kMcba, instance, params);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return make_dpp(core::P2aSolverKind::kMcba, instance, params);
+        },
+        "DPP with the MCBA inner solver (Fig. 9 baseline)"}},
       {"dpp-ropt",
-       [](const core::Instance& instance, const PolicyParams& params) {
-         return make_dpp(core::P2aSolverKind::kRopt, instance, params);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return make_dpp(core::P2aSolverKind::kRopt, instance, params);
+        },
+        "DPP with the ROPT inner solver (Fig. 9 baseline)"}},
       {"greedy-budget",
-       [](const core::Instance& instance, const PolicyParams&) {
-         return std::make_unique<GreedyBudgetPolicy>(instance);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return pipeline::make_greedy_budget_pipeline(
+              instance, baseline_cgba_config_from(params));
+        },
+        "myopic baseline: spend up to the budget every slot"}},
       {"fixed-frequency",
-       [](const core::Instance& instance, const PolicyParams& params) {
-         return make_fixed(params.fixed_fraction, instance);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return pipeline::make_fixed_frequency_pipeline(
+              instance, params.fixed_fraction,
+              baseline_cgba_config_from(params));
+        },
+        "CGBA assignment at a fixed frequency fraction (fixed_fraction)"}},
       {"fixed-max",
-       [](const core::Instance& instance, const PolicyParams&) {
-         return make_fixed(1.0, instance);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return pipeline::make_fixed_frequency_pipeline(
+              instance, 1.0, baseline_cgba_config_from(params));
+        },
+        "fixed-frequency ablation at fraction 1.0 (latency floor)"}},
       {"fixed-min",
-       [](const core::Instance& instance, const PolicyParams&) {
-         return make_fixed(0.0, instance);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return pipeline::make_fixed_frequency_pipeline(
+              instance, 0.0, baseline_cgba_config_from(params));
+        },
+        "fixed-frequency ablation at fraction 0.0 (cost floor)"}},
       {"mpc",
-       [](const core::Instance& instance, const PolicyParams& params) {
-         return std::make_unique<MpcPolicy>(instance, params.mpc);
-       }},
+       {[](const core::Instance& instance, const PolicyParams& params) {
+          return pipeline::make_mpc_pipeline(instance,
+                                             mpc_config_from(params));
+        },
+        "certainty-equivalence receding-horizon planner (trend forecasts)"}},
   };
   return registry;
 }
@@ -86,21 +96,27 @@ const std::map<std::string, Builder>& builders() {
 
 std::vector<std::string> registered_policies() {
   std::vector<std::string> names;
-  names.reserve(builders().size());
-  for (const auto& [name, builder] : builders()) names.push_back(name);
+  names.reserve(entries().size());
+  for (const auto& [name, entry] : entries()) names.push_back(name);
   return names;
 }
 
 bool is_registered_policy(const std::string& name) {
-  return builders().count(name) > 0;
+  return entries().count(name) > 0;
+}
+
+std::string policy_description(const std::string& name) {
+  const auto it = entries().find(name);
+  if (it == entries().end()) throw_unknown_policy(name);
+  return it->second.description;
 }
 
 std::unique_ptr<Policy> make_policy(const std::string& name,
                                     const core::Instance& instance,
                                     const PolicyParams& params) {
-  const auto it = builders().find(name);
-  if (it == builders().end()) throw_unknown_policy(name);
-  auto policy = it->second(instance, params);
+  const auto it = entries().find(name);
+  if (it == entries().end()) throw_unknown_policy(name);
+  auto policy = it->second.build(instance, params);
   EOTORA_ASSERT(policy != nullptr);
   return policy;
 }

@@ -5,8 +5,10 @@
 // ("dpp-bdma", "greedy-budget", ...) instead of hand-wiring constructor
 // calls, so a new policy registered here is immediately sweepable from
 // every harness. The knobs a sweep commonly varies are collected in
-// PolicyParams; anything not covered there still has the plain policy
-// constructors.
+// PolicyParams (sim/policy_params.h); anything not covered there still has
+// the plain policy constructors. Every name is built as a sim::pipeline
+// assembly (sim/pipeline/assemblies.h) — bit-identical to the monolithic
+// policy classes, plus a per-stage stats/trace breakdown.
 //
 // Registered names:
 //   beta-only        BetaOnlyPolicy (Lemma-2 per-slot budget oracle)
@@ -28,24 +30,19 @@
 #include "sim/experiment.h"
 #include "sim/mpc_policy.h"
 #include "sim/policy.h"
+#include "sim/policy_params.h"
 
 namespace eotora::sim {
-
-// The constructor knobs a sweep varies. Defaults match the paper scenario
-// (V = 100, z = 5) with a cold virtual queue.
-struct PolicyParams {
-  double v = 100.0;                  // Lyapunov penalty weight
-  double initial_queue = 0.0;        // Q(1) warm start
-  std::size_t bdma_iterations = 5;   // the paper's z
-  std::size_t mcba_iterations = 3000;
-  double fixed_fraction = 1.0;       // for "fixed-frequency"
-  MpcConfig mpc;                     // for "mpc"
-};
 
 // Sorted names of every registered policy.
 [[nodiscard]] std::vector<std::string> registered_policies();
 
 [[nodiscard]] bool is_registered_policy(const std::string& name);
+
+// One-line human description of the named policy (for --list-policies and
+// similar listings). Throws std::invalid_argument for an unknown name,
+// listing the registered ones.
+[[nodiscard]] std::string policy_description(const std::string& name);
 
 // Whether the named policy maintains the DPP virtual queue (Eq. (21)).
 // Policies that don't report Q_before == Q_after == 0 with theta != 0, so

@@ -221,6 +221,19 @@ SweepCell run_cell(const SweepSpec& spec, const AxisAssignment& assignment,
     cell.state_seconds += result.state_seconds;
     cell.audit_seconds += result.audit_seconds;
     cell.counters.merge(result.counters);
+    if (cell.stages.empty()) {
+      cell.stages = result.stages;
+    } else {
+      // Same policy, same assembly: the stage list is identical across
+      // seeds, so merging by position is merging by stage.
+      EOTORA_REQUIRE(cell.stages.size() == result.stages.size());
+      for (std::size_t s = 0; s < cell.stages.size(); ++s) {
+        EOTORA_REQUIRE(cell.stages[s].name == result.stages[s].name);
+        cell.stages[s].runs += result.stages[s].runs;
+        cell.stages[s].seconds += result.stages[s].seconds;
+        cell.stages[s].counters.merge(result.stages[s].counters);
+      }
+    }
   }
   cell.tail.latency = cell.tail_latency_stats.mean();
   cell.tail.energy_cost = tail_cost.mean();
@@ -373,6 +386,19 @@ util::Json SweepResult::to_json() const {
     }
     // Solver effort totals: deterministic, summed over the cell's seeds.
     record["counters"] = cell.counters.to_json();
+    // Per-stage breakdown (pipeline policies): "name", "runs", and
+    // "counters" are deterministic; "seconds" is wall-clock (strip it with
+    // the other timing fields before diffing).
+    util::Json stages_json = util::Json::array();
+    for (const auto& stage : cell.stages) {
+      util::Json stage_json = util::Json::object();
+      stage_json["name"] = stage.name;
+      stage_json["runs"] = stage.runs;
+      stage_json["counters"] = stage.counters.to_json();
+      stage_json["seconds"] = stage.seconds;
+      stages_json.push_back(std::move(stage_json));
+    }
+    record["stages"] = std::move(stages_json);
     // Wall-clock fields: NOT deterministic; strip before diffing records.
     record["decision_seconds"] = cell.decision_seconds;
     record["state_seconds"] = cell.state_seconds;

@@ -95,6 +95,11 @@ struct SweepCell {
   // Solver effort summed over the cell's seeds; deterministic for a given
   // spec (part of the byte-identity-across-threads contract).
   core::counters::SolverCounters counters;
+  // Per-stage breakdown summed over the cell's seeds, in stage order.
+  // Empty when the policy reports no stages. Runs and counters are
+  // deterministic (the stage counters sum to `counters`); the seconds are
+  // wall-clock.
+  std::vector<pipeline::StageStats> stages;
 
   // 95% normal-approximation CI half-width of the tail latency across
   // seeds (zero for seeds < 2).
@@ -119,9 +124,9 @@ struct SweepResult {
 
   // The machine-readable artifact. Every field is deterministic for a
   // given spec except the wall-clock ones ("decision_seconds",
-  // "wall_seconds" per record, "wall_seconds" at the top level) and the
-  // provenance stamps ("commit", "build_type"), which track the producing
-  // build rather than the spec.
+  // "wall_seconds" per record, "seconds" inside each "stages" entry,
+  // "wall_seconds" at the top level) and the provenance stamps ("commit",
+  // "build_type"), which track the producing build rather than the spec.
   [[nodiscard]] util::Json to_json() const;
 
   // dump(to_json(), indent=2) to `path` (creating nothing but the file).

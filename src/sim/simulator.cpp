@@ -73,6 +73,7 @@ SimulationResult run_policy_stream(Policy& policy,
   result.wall_seconds = decision_seconds;
   result.state_seconds = state_seconds;
   result.audit_seconds = audit_seconds;
+  result.stages = policy.stage_stats();
   if (auditor != nullptr) result.audit = auditor->report();
   return result;
 }

@@ -95,9 +95,11 @@ TEST(Registry, ParamsReachTheConstructedPolicy) {
   params.v = 77.0;
   params.initial_queue = 12.5;
   auto policy = make_policy("dpp-bdma", scenario.instance(), params);
-  auto* dpp = dynamic_cast<DppPolicy*>(policy.get());
-  ASSERT_NE(dpp, nullptr);
-  EXPECT_DOUBLE_EQ(dpp->queue(), 12.5);
+  // The warm-started queue is visible in the first slot's Q(t).
+  const auto states = scenario.generate_states(1);
+  util::Rng rng(9);
+  const auto slot = policy->step(states.front(), rng);
+  EXPECT_DOUBLE_EQ(slot.queue_before, 12.5);
 
   params.fixed_fraction = 0.25;
   auto fixed =

@@ -47,6 +47,14 @@ util::Json strip_timing(util::Json doc) {
     record.erase("decision_seconds");
     record.erase("state_seconds");
     record.erase("audit_seconds");
+    // The per-stage breakdown is deterministic except its wall-clock share.
+    util::Json stages = util::Json::array();
+    for (std::size_t s = 0; s < record.at("stages").size(); ++s) {
+      util::Json stage = record.at("stages").at(s);
+      stage.erase("seconds");
+      stages.push_back(stage);
+    }
+    record["stages"] = stages;
     records.push_back(record);
   }
   doc["records"] = records;
