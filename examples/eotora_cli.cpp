@@ -12,6 +12,7 @@
 
 #include "core/counters.h"
 #include "eotora/eotora.h"
+#include "sim/pipeline/graph.h"
 #include "util/args.h"
 #include "util/trace.h"
 
@@ -33,6 +34,17 @@ options (all --key=value):
   --q0       initial queue backlog Q(1)                           [0]
   --z        BDMA iterations                                      [5]
   --seed     scenario seed                                        [42]
+  --shards   run the P2-A solve sharded: decompose the WCG into its
+             connected components and solve them with up to this many
+             workers (results are bit-identical to the global solve for
+             every value >= 1); only CGBA/MCBA-backed policies shard
+  --districts  metro-scale layout: tile the region with this many
+             self-contained districts (must be a perfect square); each
+             district gets its own server room, local mid-band stations,
+             and a confined share of the devices, so the WCG splits into
+             one component per district
+  --graph    print the stage/port wiring of this policy's decision
+             pipeline (sim/pipeline graph), then exit
   --record   write the generated state trace to this CSV path
   --replay   read states from this CSV instead of generating
   --log      write a per-slot decision log (CSV) to this path
@@ -98,9 +110,10 @@ int main(int argc, char** argv) {
   try {
     const util::Args args(argc, argv,
                           {"policy", "devices", "days", "horizon", "budget",
-                           "v", "q0", "z", "seed", "record", "replay", "log",
-                           "stream", "prefetch", "audit", "trace-out",
-                           "list-policies", "help"});
+                           "v", "q0", "z", "seed", "shards", "districts",
+                           "graph", "record", "replay", "log", "stream",
+                           "prefetch", "audit", "trace-out", "list-policies",
+                           "help"});
     if (args.has("help")) {
       print_usage();
       return 0;
@@ -112,10 +125,51 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // The historical short names stay as aliases everywhere a policy name
+    // is accepted.
+    const auto resolve_policy = [](std::string name) {
+      if (name == "bdma") return std::string("dpp-bdma");
+      if (name == "mcba") return std::string("dpp-mcba");
+      if (name == "ropt") return std::string("dpp-ropt");
+      if (name == "greedy") return std::string("greedy-budget");
+      return name;
+    };
+
+    if (args.has("graph")) {
+      const std::string name = resolve_policy(args.get("graph", ""));
+      if (name.empty()) {
+        throw std::invalid_argument("--graph requires a policy name");
+      }
+      // A tiny scenario suffices: the wiring depends only on the policy
+      // assembly, never on the instance size.
+      sim::ScenarioConfig graph_config;
+      graph_config.devices = 4;
+      sim::Scenario graph_world(graph_config);
+      const std::unique_ptr<sim::Policy> assembled =
+          sim::make_policy(name, graph_world.instance(), sim::PolicyParams{});
+      const auto* graph =
+          dynamic_cast<const sim::pipeline::PolicyGraph*>(assembled.get());
+      if (graph == nullptr) {
+        throw std::invalid_argument("policy '" + name +
+                                    "' is not a staged pipeline");
+      }
+      std::cout << graph->wiring_description();
+      return 0;
+    }
+
     sim::ScenarioConfig config;
     config.devices = static_cast<std::size_t>(args.get_int("devices", 100));
     config.budget_per_slot = args.get_double("budget", 1.0);
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    if (args.has("districts")) {
+      const long districts = args.get_int("districts", 0);
+      if (districts <= 0) {
+        throw std::invalid_argument(
+            "--districts must be a positive perfect square, got " +
+            args.get("districts", ""));
+      }
+      config.metro_districts = static_cast<std::size_t>(districts);
+    }
     const auto days = static_cast<std::size_t>(args.get_int("days", 7));
     const std::size_t horizon =
         args.has("horizon")
@@ -147,17 +201,26 @@ int main(int argc, char** argv) {
       util::trace::set_enabled(true);
     }
 
-    // Policies come from the registry; the historical short names stay as
-    // aliases.
-    std::string policy_name = args.get("policy", "bdma");
-    if (policy_name == "bdma") policy_name = "dpp-bdma";
-    else if (policy_name == "mcba") policy_name = "dpp-mcba";
-    else if (policy_name == "ropt") policy_name = "dpp-ropt";
-    else if (policy_name == "greedy") policy_name = "greedy-budget";
+    // Policies come from the registry; short names resolve above.
+    const std::string policy_name = resolve_policy(args.get("policy", "bdma"));
     sim::PolicyParams params;
     params.v = args.get_double("v", 100.0);
     params.initial_queue = args.get_double("q0", 0.0);
     params.bdma_iterations = static_cast<std::size_t>(args.get_int("z", 5));
+    if (args.has("shards")) {
+      const long shards = args.get_int("shards", 0);
+      if (shards <= 0) {
+        throw std::invalid_argument(
+            "--shards must be a positive worker count, got " +
+            args.get("shards", ""));
+      }
+      if (policy_name == "dpp-ropt" || policy_name == "beta-only") {
+        throw std::invalid_argument(
+            "--shards needs a policy whose P2-A solve runs CGBA or MCBA; '" +
+            policy_name + "' bypasses the shardable solvers");
+      }
+      params.shard_workers = static_cast<std::size_t>(shards);
+    }
 
     sim::AuditConfig audit;
     audit.mode = sim::AuditMode::kOff;
@@ -312,8 +375,11 @@ int main(int argc, char** argv) {
     std::cout << "counters: " << result.counters.to_json().dump() << "\n";
     // Pipeline policies also break the same totals down per stage.
     for (const auto& stage : result.stages) {
-      std::cout << "stage " << stage.name << ": runs=" << stage.runs
-                << " counters=" << stage.counters.to_json().dump() << "\n";
+      std::cout << "stage " << stage.name << ": runs=" << stage.runs;
+      if (!stage.shards.empty()) {
+        std::cout << " shards=" << stage.shards.size();
+      }
+      std::cout << " counters=" << stage.counters.to_json().dump() << "\n";
     }
     if (prefetch_source != nullptr) {
       const auto stats = prefetch_source->stats();

@@ -1,6 +1,7 @@
 #include "core/bdma.h"
 
 #include <limits>
+#include <utility>
 
 #include "core/counters.h"
 #include "core/latency.h"
@@ -31,15 +32,41 @@ void bdma_p2a_iterate(const Instance& instance, const SlotState& state,
   // bdma_begin_slot already installed Ω^L; only re-derive the compute
   // weights once P2-B has produced new frequencies.
   if (iteration > 0) problem.set_frequencies(instance, loop.omega);
+  // This iterate's sharding telemetry (stays 0/empty on the global paths).
+  loop.p2a_shards = 0;
+  loop.p2a_shard_counters.clear();
+  const auto record_shards = [&loop](ShardedResult&& sharded) {
+    loop.p2a = std::move(sharded.result);
+    loop.p2a_shards = sharded.shards;
+    loop.p2a_shard_counters = std::move(sharded.shard_counters);
+  };
   // Line 3: solve P2-A at the current Ω.
   switch (config.solver) {
     case P2aSolverKind::kCgba:
-      loop.p2a = (iteration == 0 || loop.previous.profile.empty())
-                     ? cgba(problem, config.cgba, rng)
-                     : cgba_from(problem, config.cgba, loop.previous.profile);
+      if (config.cgba.shard_workers > 0) {
+        record_shards(
+            (iteration == 0 || loop.previous.profile.empty())
+                ? cgba_sharded(problem, config.cgba, rng,
+                               config.cgba.shard_workers, &workspace.sharded)
+                : cgba_sharded_from(problem, config.cgba,
+                                    loop.previous.profile,
+                                    config.cgba.shard_workers,
+                                    &workspace.sharded));
+      } else {
+        loop.p2a =
+            (iteration == 0 || loop.previous.profile.empty())
+                ? cgba(problem, config.cgba, rng)
+                : cgba_from(problem, config.cgba, loop.previous.profile);
+      }
       break;
     case P2aSolverKind::kMcba:
-      loop.p2a = mcba(problem, config.mcba, rng);
+      if (config.mcba.shard_workers > 0) {
+        record_shards(mcba_sharded(problem, config.mcba, rng,
+                                   config.mcba.shard_workers,
+                                   &workspace.sharded));
+      } else {
+        loop.p2a = mcba(problem, config.mcba, rng);
+      }
       break;
     case P2aSolverKind::kRopt:
       loop.p2a = ropt(problem, rng);

@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "core/cgba.h"
+#include "core/counters.h"
 #include "core/instance.h"
 #include "core/mcba.h"
 #include "core/p2b.h"
+#include "core/sharded.h"
 #include "core/solve_result.h"
 #include "core/wcg.h"
 #include "util/rng.h"
@@ -49,6 +51,9 @@ struct BdmaResult {
 // thread-safe: use one workspace per concurrent caller.
 struct BdmaWorkspace {
   WcgProblem problem;
+  // Scratch for the sharded P2-A drivers (used only when the inner solver
+  // config enables shard_workers).
+  ShardedWorkspace sharded;
 };
 
 // The loop-carried state of Algorithm 2, exposed so the per-iteration
@@ -62,6 +67,11 @@ struct BdmaLoopState {
   SolveResult p2a;        // current iteration's P2-A solution
   Assignment assignment;  // current iteration's (x, y)
   BdmaResult best;        // lines 5-8: running best by the P2 objective
+  // Sharding telemetry of the LAST bdma_p2a_iterate call — component count
+  // and per-shard effort of that one solve. 0 / empty when the solve ran
+  // unsharded; overwritten each iterate so stage wrappers can accumulate.
+  std::size_t p2a_shards = 0;
+  std::vector<counters::SolverCounters> p2a_shard_counters;
 };
 
 // Line 1 of Algorithm 2: reset `loop`, set Ω = Ω^L, and rebuild the

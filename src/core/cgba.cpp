@@ -98,26 +98,31 @@ SolveResult cgba(const WcgProblem& problem, const CgbaConfig& config,
 }
 
 SolveResult cgba_from(const WcgProblem& problem, const CgbaConfig& config,
-                      Profile initial) {
+                      Profile initial, std::vector<double>* final_loads) {
   EOTORA_REQUIRE_MSG(config.lambda >= 0.0 && config.lambda < 0.125,
                      "lambda=" << config.lambda);
   EOTORA_REQUIRE(config.max_moves > 0);
   LoadTracker tracker(problem, std::move(initial));
   const std::size_t devices = problem.num_devices();
 
+  SolveResult result;
   if (config.naive_scan) {
-    return run_cgba(
+    result = run_cgba(
         config, tracker, devices,
         [&](std::size_t i) { return tracker.best_response(i); },
         [&](std::size_t i, std::size_t o) { tracker.move(i, o); });
+  } else {
+    BestResponseEngine engine(tracker);
+    result = run_cgba(
+        config, tracker, devices,
+        [&](std::size_t i) { return engine.best_response(i); },
+        [&](std::size_t i, std::size_t o) { engine.move(i, o); });
+    counters::active().engine_rebuilds += 1;
+    counters::active().engine_term_refreshes += engine.term_refreshes();
   }
-  BestResponseEngine engine(tracker);
-  SolveResult result = run_cgba(
-      config, tracker, devices,
-      [&](std::size_t i) { return engine.best_response(i); },
-      [&](std::size_t i, std::size_t o) { engine.move(i, o); });
-  counters::active().engine_rebuilds += 1;
-  counters::active().engine_term_refreshes += engine.term_refreshes();
+  if (final_loads != nullptr) {
+    final_loads->assign(tracker.loads().begin(), tracker.loads().end());
+  }
   return result;
 }
 

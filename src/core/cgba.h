@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "core/solve_result.h"
 #include "core/wcg.h"
@@ -41,6 +42,12 @@ struct CgbaConfig {
   // naive path exists only as the reference the fast path is checked
   // against and for the micro-benchmark baseline.
   bool naive_scan = false;
+  // 0 = one global solve. >= 1 routes the solve through the sharded driver
+  // (core/sharded.h): connected components solved concurrently on at most
+  // this many pool workers, with results bit-identical to the global solve
+  // for every worker count. Callers that dispatch on this knob (BDMA, the
+  // pipeline stages) do so; cgba()/cgba_from() themselves ignore it.
+  std::size_t shard_workers = 0;
 };
 
 // Runs CGBA from a uniformly random initial profile.
@@ -48,8 +55,13 @@ struct CgbaConfig {
                                const CgbaConfig& config, util::Rng& rng);
 
 // Runs CGBA from a caller-supplied initial profile (used by BDMA to warm
-// start successive iterations).
+// start successive iterations). When `final_loads` is non-null it receives
+// the solver's final tracked per-resource loads P_r — the exact bits
+// result.cost was summed from. The sharded driver (core/sharded) scatters
+// these into a global load buffer to reproduce the global solve's cost
+// summation without a from-scratch re-evaluation.
 [[nodiscard]] SolveResult cgba_from(const WcgProblem& problem,
-                                    const CgbaConfig& config, Profile initial);
+                                    const CgbaConfig& config, Profile initial,
+                                    std::vector<double>* final_loads = nullptr);
 
 }  // namespace eotora::core

@@ -18,6 +18,8 @@ void SolverCounters::merge(const SolverCounters& other) {
   engine_rebuilds += other.engine_rebuilds;
   engine_term_refreshes += other.engine_term_refreshes;
   lemma1_evaluations += other.lemma1_evaluations;
+  component_finds += other.component_finds;
+  component_reuses += other.component_reuses;
 }
 
 bool SolverCounters::operator==(const SolverCounters& other) const {
@@ -27,7 +29,9 @@ bool SolverCounters::operator==(const SolverCounters& other) const {
          bdma_iterations == other.bdma_iterations &&
          engine_rebuilds == other.engine_rebuilds &&
          engine_term_refreshes == other.engine_term_refreshes &&
-         lemma1_evaluations == other.lemma1_evaluations;
+         lemma1_evaluations == other.lemma1_evaluations &&
+         component_finds == other.component_finds &&
+         component_reuses == other.component_reuses;
 }
 
 util::Json SolverCounters::to_json() const {
@@ -42,6 +46,8 @@ util::Json SolverCounters::to_json() const {
   out["engine_rebuilds"] = engine_rebuilds;
   out["engine_term_refreshes"] = engine_term_refreshes;
   out["lemma1_evaluations"] = lemma1_evaluations;
+  out["component_finds"] = component_finds;
+  out["component_reuses"] = component_reuses;
   return out;
 }
 

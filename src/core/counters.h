@@ -45,6 +45,10 @@ struct SolverCounters {
   std::uint64_t engine_term_refreshes = 0;
   // Closed-form Lemma-1 allocations evaluated (core/lemma1.cpp).
   std::uint64_t lemma1_evaluations = 0;
+  // WcgProblem::components(): from-scratch union-find sweeps vs. cache
+  // reuses when a rebuild kept the same (bs, server) option structure.
+  std::uint64_t component_finds = 0;
+  std::uint64_t component_reuses = 0;
 
   void merge(const SolverCounters& other);
   void reset() { *this = SolverCounters{}; }

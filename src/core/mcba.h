@@ -24,10 +24,32 @@ struct McbaConfig {
   // delta_cost. Kept as the reference the fast path is checked against
   // (tests/test_wcg_incremental.cpp) and for the micro-benchmark baseline.
   bool naive_scan = false;
+  // 0 = serial component-aware mcba(). >= 1 routes through mcba_sharded
+  // (core/sharded.h) with at most this many pool workers — identical bits,
+  // concurrent chains, per-shard effort reporting. Dispatch happens in the
+  // callers (BDMA, the pipeline stages); mcba() itself ignores it.
+  std::size_t shard_workers = 0;
 };
 
-// Runs the chain from a random profile and returns the best profile visited.
+// Runs MCBA and returns the best profile visited. Component-aware: on a
+// problem whose device↔resource graph has a single connected component
+// (every paper scenario — the full-coverage low-band stations tie the whole
+// graph together) this is exactly one annealing chain, bit-for-bit the
+// historical behaviour. On a multi-component problem (metro scenarios with
+// localized coverage) it runs one INDEPENDENT chain per component — each on
+// the extracted subproblem, each with its own child rng seeded sequentially
+// from `rng` in component order, each running config.iterations proposals —
+// and combines the per-component best profiles (the social cost separates
+// across components, so the combination is at least as good as any jointly
+// visited state). The combined cost is re-evaluated as
+// problem.total_cost(merged). core::mcba_sharded runs the same chains
+// concurrently and is bit-identical to this by construction.
 [[nodiscard]] SolveResult mcba(const WcgProblem& problem,
                                const McbaConfig& config, util::Rng& rng);
+
+// One annealing chain from a random initial profile — the unit of work
+// mcba() runs per component. Exposed for the sharded driver (core/sharded).
+[[nodiscard]] SolveResult mcba_chain(const WcgProblem& problem,
+                                     const McbaConfig& config, util::Rng& rng);
 
 }  // namespace eotora::core

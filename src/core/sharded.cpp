@@ -1,0 +1,188 @@
+#include "core/sharded.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace eotora::core {
+
+namespace {
+
+// Sizes the per-shard workspace slots. problems only grows so extracted
+// arenas are reused rebuild()-style across solves; the per-slot containers
+// are overwritten wholesale by the workers.
+void plan_workspace(ShardedWorkspace& ws, std::size_t count) {
+  if (ws.problems.size() < count) ws.problems.resize(count);
+  ws.initials.resize(count);
+  ws.results.resize(count);
+  ws.loads.resize(count);
+}
+
+// Copies each component's slice of the per-device fields back into the
+// global result, accumulating iterations/convergence, and flushes the
+// per-shard counters into the caller's active() sink in component order.
+void merge_results(const WcgComponents& split, const ShardedWorkspace& ws,
+                   std::size_t num_devices, ShardedResult& out) {
+  SolveResult& merged = out.result;
+  merged.profile.resize(num_devices);
+  merged.iterations = 0;
+  merged.converged = true;
+  for (std::size_t c = 0; c < split.count; ++c) {
+    const SolveResult& r = ws.results[c];
+    const std::span<const std::uint32_t> devices = split.devices_of(c);
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      merged.profile[devices[i]] = r.profile[i];
+    }
+    merged.iterations += r.iterations;
+    merged.converged = merged.converged && r.converged;
+    counters::active().merge(out.shard_counters[c]);
+  }
+}
+
+}  // namespace
+
+ShardedResult cgba_sharded(const WcgProblem& problem, const CgbaConfig& config,
+                           util::Rng& rng, std::size_t workers,
+                           ShardedWorkspace* workspace) {
+  // One global draw, exactly as cgba() makes it, then split per shard —
+  // this is what keeps sharded == global bit-for-bit.
+  return cgba_sharded_from(problem, config, problem.random_profile(rng),
+                           workers, workspace);
+}
+
+ShardedResult cgba_sharded_from(const WcgProblem& problem,
+                                const CgbaConfig& config, Profile initial,
+                                std::size_t workers,
+                                ShardedWorkspace* workspace) {
+  EOTORA_REQUIRE(workers >= 1);
+  ShardedWorkspace local;
+  ShardedWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  ShardedResult out;
+  const WcgComponents* split = nullptr;
+  {
+    EOTORA_TRACE_SPAN("shard/plan");
+    split = &problem.components();
+    out.shards = split->count;
+    out.shard_counters.assign(split->count, counters::SolverCounters{});
+    if (split->count > 1) {
+      plan_workspace(ws, split->count);
+      for (std::size_t c = 0; c < split->count; ++c) {
+        problem.extract_component(*split, c, ws.problems[c]);
+        const std::span<const std::uint32_t> devices = split->devices_of(c);
+        ws.initials[c].resize(devices.size());
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+          ws.initials[c][i] = initial[devices[i]];
+        }
+      }
+    }
+  }
+
+  if (split->count == 1) {
+    // One component: the global solve IS the shard solve. Run it under a
+    // Scope so the caller still gets a per-shard effort breakdown.
+    {
+      const counters::Scope scope(out.shard_counters[0]);
+      out.result = cgba_from(problem, config, std::move(initial));
+    }
+    counters::active().merge(out.shard_counters[0]);
+    return out;
+  }
+
+  {
+    EOTORA_TRACE_SPAN("shard/solve");
+    util::ThreadPool::shared().parallel_for_index(
+        split->count, workers, [&](std::size_t c) {
+          const counters::Scope scope(out.shard_counters[c]);
+          ws.results[c] = cgba_from(ws.problems[c], config,
+                                    std::move(ws.initials[c]), &ws.loads[c]);
+        });
+  }
+
+  {
+    EOTORA_TRACE_SPAN("shard/merge");
+    merge_results(*split, ws, problem.num_devices(), out);
+    // Scatter the final shard loads into a global-length buffer and sum the
+    // cost with the same ascending left-to-right pass
+    // LoadTracker::total_cost runs. Resources outside every component keep
+    // load 0.0 exactly as the global tracker would, so the bits match the
+    // global solve's reported cost.
+    ws.merged_loads.assign(problem.num_resources(), 0.0);
+    for (std::size_t c = 0; c < split->count; ++c) {
+      const std::span<const std::uint32_t> resources = split->resources_of(c);
+      for (std::size_t t = 0; t < resources.size(); ++t) {
+        ws.merged_loads[resources[t]] = ws.loads[c][t];
+      }
+    }
+    double cost = 0.0;
+    for (std::size_t r = 0; r < ws.merged_loads.size(); ++r) {
+      cost += problem.weight(r) * ws.merged_loads[r] * ws.merged_loads[r];
+    }
+    out.result.cost = cost;
+  }
+  return out;
+}
+
+ShardedResult mcba_sharded(const WcgProblem& problem, const McbaConfig& config,
+                           util::Rng& rng, std::size_t workers,
+                           ShardedWorkspace* workspace) {
+  EOTORA_REQUIRE(workers >= 1);
+  ShardedWorkspace local;
+  ShardedWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  ShardedResult out;
+  const WcgComponents* split = nullptr;
+  {
+    EOTORA_TRACE_SPAN("shard/plan");
+    split = &problem.components();
+    out.shards = split->count;
+    out.shard_counters.assign(split->count, counters::SolverCounters{});
+    if (split->count > 1) {
+      plan_workspace(ws, split->count);
+      // Seeds are drawn sequentially in component order on the calling
+      // thread, so every worker count consumes `rng` identically.
+      ws.seeds.resize(split->count);
+      for (std::size_t c = 0; c < split->count; ++c) {
+        ws.seeds[c] = rng.engine()();
+        problem.extract_component(*split, c, ws.problems[c]);
+      }
+    }
+  }
+
+  if (split->count == 1) {
+    // One component: the historical single-chain MCBA, consuming the
+    // caller's rng directly (this is the path every paper scenario takes,
+    // so pre-decomposition results are reproduced bit-for-bit).
+    {
+      const counters::Scope scope(out.shard_counters[0]);
+      out.result = mcba_chain(problem, config, rng);
+    }
+    counters::active().merge(out.shard_counters[0]);
+    return out;
+  }
+
+  {
+    EOTORA_TRACE_SPAN("shard/solve");
+    util::ThreadPool::shared().parallel_for_index(
+        split->count, workers, [&](std::size_t c) {
+          const counters::Scope scope(out.shard_counters[c]);
+          util::Rng chain_rng(ws.seeds[c]);
+          ws.results[c] = mcba_chain(ws.problems[c], config, chain_rng);
+        });
+  }
+
+  {
+    EOTORA_TRACE_SPAN("shard/merge");
+    merge_results(*split, ws, problem.num_devices(), out);
+    // The per-component bests were tracked against per-component costs;
+    // the combined profile's social cost is re-derived once globally (the
+    // cost separates, so the combination is at least as good as any state
+    // a joint chain visited).
+    out.result.cost = problem.total_cost(out.result.profile, ws.merged_loads);
+  }
+  return out;
+}
+
+}  // namespace eotora::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/counters.h"
 #include "util/check.h"
 
 namespace eotora::core {
@@ -126,6 +127,10 @@ void WcgProblem::rebuild(const Instance& instance, const SlotState& state,
     index_offsets_[r] = index_offsets_[r - 1];
   }
   index_offsets_[0] = 0;
+
+  // The connectivity structure may have changed; components() re-checks the
+  // signature (and reuses the decomposition when it matches) on next use.
+  components_valid_ = false;
 }
 
 std::span<const Option> WcgProblem::options(std::size_t device) const {
@@ -286,6 +291,208 @@ double WcgProblem::singleton_lower_bound() const {
     bound += best;
   }
   return bound;
+}
+
+const WcgComponents& WcgProblem::components() const {
+  if (components_valid_) return components_;
+
+  // Signature check: if the (bs, server) structure and the offset table are
+  // unchanged since the last find, the decomposition is still valid —
+  // per-slot state changes magnitudes, not which links exist.
+  bool same = signature_valid_ && signature_offsets_ == offsets_ &&
+              signature_options_.size() == arena_.size();
+  if (same) {
+    for (std::size_t a = 0; a < arena_.size(); ++a) {
+      const std::uint64_t sig =
+          (static_cast<std::uint64_t>(arena_[a].bs) << 32) |
+          static_cast<std::uint64_t>(arena_[a].server);
+      if (signature_options_[a] != sig) {
+        same = false;
+        break;
+      }
+    }
+  }
+  if (same) {
+    ++counters::active().component_reuses;
+    components_valid_ = true;
+    return components_;
+  }
+
+  // Union-find over resources with path halving; every option unions its
+  // three resources into the root of its device's first compute resource,
+  // so all resources a device can ever touch end up in one set.
+  const std::size_t resources = weights_.size();
+  std::vector<std::uint32_t> parent(resources);
+  for (std::size_t r = 0; r < resources; ++r) {
+    parent[r] = static_cast<std::uint32_t>(r);
+  }
+  auto find = [&parent](std::uint32_t r) {
+    while (parent[r] != r) {
+      parent[r] = parent[parent[r]];
+      r = parent[r];
+    }
+    return r;
+  };
+  const std::size_t devices = num_devices();
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::uint32_t anchor =
+        find(static_cast<std::uint32_t>(arena_[offsets_[i]].r_compute));
+    for (std::size_t a = offsets_[i]; a < offsets_[i + 1]; ++a) {
+      parent[find(static_cast<std::uint32_t>(arena_[a].r_compute))] = anchor;
+      parent[find(static_cast<std::uint32_t>(arena_[a].r_access))] = anchor;
+      parent[find(static_cast<std::uint32_t>(arena_[a].r_fronthaul))] = anchor;
+    }
+  }
+
+  // Dense component ids in order of first device appearance.
+  WcgComponents& out = components_;
+  out.count = 0;
+  out.device_component.assign(devices, WcgComponents::kNone);
+  out.resource_component.assign(resources, WcgComponents::kNone);
+  std::vector<std::uint32_t> root_component(resources, WcgComponents::kNone);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::uint32_t root =
+        find(static_cast<std::uint32_t>(arena_[offsets_[i]].r_compute));
+    if (root_component[root] == WcgComponents::kNone) {
+      root_component[root] = static_cast<std::uint32_t>(out.count++);
+    }
+    out.device_component[i] = root_component[root];
+  }
+  out.resource_local.assign(resources, WcgComponents::kNone);
+  for (std::size_t r = 0; r < resources; ++r) {
+    // Only resources some option touches belong to a component; find(r) of
+    // an untouched resource is its own singleton root with no id assigned.
+    out.resource_component[r] =
+        root_component[find(static_cast<std::uint32_t>(r))];
+  }
+
+  // CSR membership lists: counting sort keeps both lists ascending.
+  out.device_offsets.assign(out.count + 1, 0);
+  for (std::size_t i = 0; i < devices; ++i) {
+    ++out.device_offsets[out.device_component[i] + 1];
+  }
+  for (std::size_t c = 0; c < out.count; ++c) {
+    out.device_offsets[c + 1] += out.device_offsets[c];
+  }
+  out.device_list.resize(devices);
+  {
+    std::vector<std::size_t> cursor(out.device_offsets.begin(),
+                                    out.device_offsets.end() - 1);
+    for (std::size_t i = 0; i < devices; ++i) {
+      out.device_list[cursor[out.device_component[i]]++] =
+          static_cast<std::uint32_t>(i);
+    }
+  }
+  out.resource_offsets.assign(out.count + 1, 0);
+  for (std::size_t r = 0; r < resources; ++r) {
+    if (out.resource_component[r] != WcgComponents::kNone) {
+      ++out.resource_offsets[out.resource_component[r] + 1];
+    }
+  }
+  for (std::size_t c = 0; c < out.count; ++c) {
+    out.resource_offsets[c + 1] += out.resource_offsets[c];
+  }
+  out.resource_list.resize(out.resource_offsets[out.count]);
+  {
+    std::vector<std::size_t> cursor(out.resource_offsets.begin(),
+                                    out.resource_offsets.end() - 1);
+    for (std::size_t r = 0; r < resources; ++r) {
+      const std::uint32_t c = out.resource_component[r];
+      if (c == WcgComponents::kNone) continue;
+      out.resource_local[r] = static_cast<std::uint32_t>(
+          cursor[c] - out.resource_offsets[c]);
+      out.resource_list[cursor[c]++] = static_cast<std::uint32_t>(r);
+    }
+  }
+
+  signature_offsets_ = offsets_;
+  signature_options_.resize(arena_.size());
+  for (std::size_t a = 0; a < arena_.size(); ++a) {
+    signature_options_[a] = (static_cast<std::uint64_t>(arena_[a].bs) << 32) |
+                            static_cast<std::uint64_t>(arena_[a].server);
+  }
+  signature_valid_ = true;
+  components_valid_ = true;
+  ++counters::active().component_finds;
+  return components_;
+}
+
+void WcgProblem::extract_component(const WcgComponents& split, std::size_t c,
+                                   WcgProblem& out) const {
+  EOTORA_REQUIRE(c < split.count);
+  const std::span<const std::uint32_t> member_devices = split.devices_of(c);
+  const std::span<const std::uint32_t> member_resources = split.resources_of(c);
+
+  // The ascending global resource run is [compute][access][fronthaul], and a
+  // station's access and fronthaul resources always co-occur, so position in
+  // the run (resource_local) is directly the local id in the same layout.
+  std::size_t local_servers = 0;
+  std::size_t local_stations = 0;
+  for (const std::uint32_t r : member_resources) {
+    if (r < num_servers_) ++local_servers;
+    else if (r < num_servers_ + num_base_stations_) ++local_stations;
+  }
+  out.num_servers_ = local_servers;
+  out.num_base_stations_ = local_stations;
+
+  out.weights_.resize(member_resources.size());
+  for (std::size_t t = 0; t < member_resources.size(); ++t) {
+    out.weights_[t] = weights_[member_resources[t]];
+  }
+
+  out.arena_.clear();
+  out.offsets_.clear();
+  out.offsets_.reserve(member_devices.size() + 1);
+  out.offsets_.push_back(0);
+  for (const std::uint32_t i : member_devices) {
+    for (std::size_t a = offsets_[i]; a < offsets_[i + 1]; ++a) {
+      Option opt = arena_[a];
+      opt.server = split.resource_local[opt.r_compute];
+      opt.bs = split.resource_local[opt.r_access] - local_servers;
+      opt.r_compute = split.resource_local[opt.r_compute];
+      opt.r_access = split.resource_local[opt.r_access];
+      opt.r_fronthaul = split.resource_local[opt.r_fronthaul];
+      out.arena_.push_back(opt);
+    }
+    out.offsets_.push_back(out.arena_.size());
+  }
+
+  out.device_of_.resize(out.arena_.size());
+  for (std::size_t i = 0; i < member_devices.size(); ++i) {
+    for (std::size_t a = out.offsets_[i]; a < out.offsets_[i + 1]; ++a) {
+      out.device_of_[a] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Same CSR build as rebuild(): local entries keep the relative order of
+  // the global index restricted to the component, so every engine sweep
+  // enumerates devices in the same relative order as the global problem.
+  const std::size_t resources = out.weights_.size();
+  out.index_offsets_.assign(resources + 1, 0);
+  for (const Option& opt : out.arena_) {
+    ++out.index_offsets_[opt.r_compute + 1];
+    ++out.index_offsets_[opt.r_access + 1];
+    ++out.index_offsets_[opt.r_fronthaul + 1];
+  }
+  for (std::size_t r = 0; r < resources; ++r) {
+    out.index_offsets_[r + 1] += out.index_offsets_[r];
+  }
+  out.index_entries_.resize(3 * out.arena_.size());
+  for (std::size_t a = 0; a < out.arena_.size(); ++a) {
+    const Option& opt = out.arena_[a];
+    out.index_entries_[out.index_offsets_[opt.r_compute]++] =
+        static_cast<std::uint32_t>(a);
+    out.index_entries_[out.index_offsets_[opt.r_access]++] =
+        static_cast<std::uint32_t>(a);
+    out.index_entries_[out.index_offsets_[opt.r_fronthaul]++] =
+        static_cast<std::uint32_t>(a);
+  }
+  for (std::size_t r = resources; r > 0; --r) {
+    out.index_offsets_[r] = out.index_offsets_[r - 1];
+  }
+  out.index_offsets_[0] = 0;
+  out.components_valid_ = false;
+  out.signature_valid_ = false;
 }
 
 LoadTracker::LoadTracker(const WcgProblem& problem, Profile profile)

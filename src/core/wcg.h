@@ -56,6 +56,46 @@ struct Option {
 // z: per-device index into that device's option list.
 using Profile = std::vector<std::size_t>;
 
+// Connected components of the device↔resource bipartite graph (a device is
+// adjacent to the three resources of each of its options). Devices in
+// different components never share a resource, so the social cost — and
+// every best-response trajectory — decomposes exactly across components;
+// this is what makes the sharded CGBA/MCBA drivers in core/sharded lossless.
+//
+// Component ids are dense, in order of first device appearance; resources
+// no option touches get kNone. Both CSR lists enumerate members in
+// ascending global id, so a component's resource run is automatically laid
+// out [compute servers][access stations][fronthaul stations] with matching
+// station order in the access and fronthaul blocks — the invariant
+// extract_component relies on to keep local resource ids in the global
+// layout scheme.
+struct WcgComponents {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  std::size_t count = 0;
+  std::vector<std::uint32_t> device_component;    // device -> component id
+  std::vector<std::uint32_t> resource_component;  // resource -> id or kNone
+  // CSR: devices of each component, ascending device id.
+  std::vector<std::size_t> device_offsets;  // count + 1
+  std::vector<std::uint32_t> device_list;
+  // CSR: global resource ids of each component, ascending.
+  std::vector<std::size_t> resource_offsets;  // count + 1
+  std::vector<std::uint32_t> resource_list;
+  // resource -> its position within its component's resource run; this IS
+  // the resource's local id in the extracted subproblem (kNone if unused).
+  std::vector<std::uint32_t> resource_local;
+
+  [[nodiscard]] std::span<const std::uint32_t> devices_of(
+      std::size_t component) const {
+    return {device_list.data() + device_offsets[component],
+            device_offsets[component + 1] - device_offsets[component]};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> resources_of(
+      std::size_t component) const {
+    return {resource_list.data() + resource_offsets[component],
+            resource_offsets[component + 1] - resource_offsets[component]};
+  }
+};
+
 class WcgProblem {
  public:
   // An empty problem; rebuild() must run before anything else is called.
@@ -145,6 +185,38 @@ class WcgProblem {
   // reported alongside heuristic solutions.
   [[nodiscard]] double singleton_lower_bound() const;
 
+  // Connected components of the device↔resource graph, computed lazily by a
+  // linear union-find sweep over the arena and cached until the next
+  // rebuild(). Coverage patterns usually persist across slots (only channel
+  // MAGNITUDES change per slot, not which links exist), so a rebuild whose
+  // (bs, server) option structure matches the previous one reuses the
+  // cached decomposition instead of re-finding it — the two cases are
+  // counted as counters::active().component_reuses / component_finds.
+  // set_frequencies never invalidates the cache (weights don't change
+  // connectivity). NOT thread-safe: call once on the owning thread before
+  // fanning shards out (the core/sharded drivers do).
+  [[nodiscard]] const WcgComponents& components() const;
+
+  // Repacks component `c` of `split` into `out` as a self-contained
+  // WcgProblem: the component's devices in ascending id order keep their
+  // option lists in arena order, with resource / base-station / server ids
+  // remapped to the component-local dense layout and every p-value and
+  // weight copied bitwise. Reuses out's allocations (rebuild()-style).
+  // Any per-component best-response trajectory on the extracted problem is
+  // bit-identical to the same trajectory on this problem projected to the
+  // component, because player costs only read component-local loads.
+  void extract_component(const WcgComponents& split, std::size_t c,
+                         WcgProblem& out) const;
+
+  // Drops the cached structure signature so the next components() call runs
+  // the full union-find sweep even if the structure is unchanged. Only for
+  // benchmarks and tests that need to time/pin the from-scratch path;
+  // results are unaffected either way.
+  void invalidate_component_signature() const {
+    components_valid_ = false;
+    signature_valid_ = false;
+  }
+
  private:
   void loads_into(const Profile& z, std::vector<double>& p) const;
 
@@ -157,6 +229,15 @@ class WcgProblem {
   std::vector<std::uint32_t> index_entries_;
   std::size_t num_servers_ = 0;
   std::size_t num_base_stations_ = 0;
+
+  // Lazy component cache (see components()). The signature captures the
+  // connectivity structure — per-option (bs, server) plus the offset table —
+  // so an identical-structure rebuild can reuse the decomposition.
+  mutable WcgComponents components_;
+  mutable bool components_valid_ = false;
+  mutable bool signature_valid_ = false;
+  mutable std::vector<std::size_t> signature_offsets_;
+  mutable std::vector<std::uint64_t> signature_options_;  // (bs << 32) | server
 };
 
 // Incremental load bookkeeping for search algorithms (CGBA, MCBA, B&B).

@@ -211,8 +211,42 @@ void PolicyGraph::reset() {
 std::vector<StageStats> PolicyGraph::stage_stats() const {
   std::vector<StageStats> stats;
   stats.reserve(slots_.size());
-  for (const auto& slot : slots_) stats.push_back(slot.stats);
+  for (const auto& slot : slots_) {
+    stats.push_back(slot.stats);
+    // Per-shard breakdowns live in the stage (it owns the sharded solves);
+    // attach them at read time so run_slot's hot path stays untouched.
+    stats.back().shards = slot.stage->shard_counters();
+  }
   return stats;
+}
+
+std::string PolicyGraph::wiring_description() const {
+  std::ostringstream out;
+  out << "policy " << label_ << " (" << slots_.size() << " stages";
+  if (loop_.iterations > 0) {
+    out << ", loop stages [" << loop_.first << ".." << loop_.last << "] x"
+        << loop_.iterations;
+  }
+  out << ")\n";
+  const auto print_ports = [&out](const std::vector<PortSpec>& ports) {
+    if (ports.empty()) {
+      out << "(none)";
+      return;
+    }
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      if (p > 0) out << " ";
+      out << ports[p].name << ":" << port_type_name(ports[p].type);
+    }
+  };
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Stage& stage = *slots_[i].stage;
+    out << "  [" << i << "] " << stage.name() << "  ";
+    print_ports(stage.inputs());
+    out << " -> ";
+    print_ports(stage.outputs());
+    out << "\n";
+  }
+  return out.str();
 }
 
 Stage* PolicyGraph::find_stage(const std::string& name) {

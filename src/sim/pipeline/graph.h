@@ -61,6 +61,11 @@ class PolicyGraph final : public Policy {
   // a stage's own surface (e.g. AuditTapStage::set_tap) after assembly.
   [[nodiscard]] Stage* find_stage(const std::string& name);
 
+  // Human-readable stage/port wiring: one line per stage with its declared
+  // input and output ports ("name:Type"), plus the loop region. This is
+  // what `eotora_cli --graph <policy>` prints.
+  [[nodiscard]] std::string wiring_description() const;
+
   [[nodiscard]] std::size_t num_stages() const { return slots_.size(); }
 
  private:

@@ -85,6 +85,15 @@ class Stage {
   // Clears cross-slot scratch (queue backlogs, warm starts, estimators)
   // back to the freshly-constructed state. Default: stateless stage.
   virtual void reset() {}
+
+  // Per-shard solver effort accumulated since the last reset(), by
+  // component index, for stages that route their P2-A solves through the
+  // sharded drivers (core/sharded). Default: empty (stage never shards).
+  // PolicyGraph::stage_stats() folds this into StageStats::shards.
+  [[nodiscard]] virtual std::vector<core::counters::SolverCounters>
+  shard_counters() const {
+    return {};
+  }
 };
 
 }  // namespace eotora::sim::pipeline

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/counters.h"
 
@@ -22,6 +23,12 @@ struct StageStats {
   std::uint64_t runs = 0;  // stage invocations (loop stages run z× per slot)
   double seconds = 0.0;
   core::counters::SolverCounters counters;
+  // Per-shard effort breakdown for stages that run the sharded P2-A
+  // drivers (core/sharded), accumulated by component index across the
+  // stage's runs; empty for unsharded stages. Deterministic for every
+  // worker count, and the in-shard fields (cgba_*, mcba_*, engine_*) sum
+  // exactly to this stage's `counters` totals.
+  std::vector<core::counters::SolverCounters> shards;
 };
 
 }  // namespace eotora::sim::pipeline

@@ -1,14 +1,31 @@
 #include "sim/pipeline/stages.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/cgba.h"
 #include "core/latency.h"
 #include "core/lemma1.h"
+#include "core/sharded.h"
 #include "sim/policy.h"
 #include "util/check.h"
 
 namespace eotora::sim::pipeline {
+
+namespace {
+
+// Folds one sharded solve's per-component counters into a stage-lifetime
+// accumulator, by component index. Component ids are stable for a stable
+// coverage structure; if the count changes across slots the accumulator
+// simply grows (every increment still lands in exactly one slot, so the
+// shard sums keep matching the stage totals).
+void fold_shards(const std::vector<core::counters::SolverCounters>& delta,
+                 std::vector<core::counters::SolverCounters>& into) {
+  if (delta.size() > into.size()) into.resize(delta.size());
+  for (std::size_t c = 0; c < delta.size(); ++c) into[c].merge(delta[c]);
+}
+
+}  // namespace
 
 void StateInStage::run(StageContext& ctx) {
   EOTORA_ASSERT(ctx.instance != nullptr);
@@ -35,6 +52,9 @@ void P2aSolveStage::run(StageContext& ctx) {
   }
   core::bdma_p2a_iterate(*ctx.instance, *ctx.state, config_,
                          ctx.loop_iteration, *ctx.rng, workspace_, ctx.bdma);
+  if (ctx.bdma.p2a_shards > 0) {
+    fold_shards(ctx.bdma.p2a_shard_counters, shard_counters_);
+  }
 }
 
 void P2bSolveStage::run(StageContext& ctx) {
@@ -84,7 +104,14 @@ void MinFrequencyStage::run(StageContext& ctx) {
 
 void CgbaAssignStage::run(StageContext& ctx) {
   problem_.rebuild(*ctx.instance, *ctx.state, ctx.frequencies);
-  ctx.p2a = core::cgba(problem_, config_, *ctx.rng);
+  if (config_.shard_workers > 0) {
+    core::ShardedResult sharded = core::cgba_sharded(
+        problem_, config_, *ctx.rng, config_.shard_workers, &sharded_);
+    ctx.p2a = std::move(sharded.result);
+    fold_shards(sharded.shard_counters, shard_counters_);
+  } else {
+    ctx.p2a = core::cgba(problem_, config_, *ctx.rng);
+  }
   ctx.assignment = problem_.to_assignment(ctx.p2a.profile);
 }
 

@@ -96,11 +96,21 @@ class P2aSolveStage final : public Stage {
     return {{"bdma_loop", PortType::kSolverLoop}};
   }
   void run(StageContext& ctx) override;
-  void reset() override { workspace_ = core::BdmaWorkspace{}; }
+  void reset() override {
+    workspace_ = core::BdmaWorkspace{};
+    shard_counters_.clear();
+  }
+  [[nodiscard]] std::vector<core::counters::SolverCounters> shard_counters()
+      const override {
+    return shard_counters_;
+  }
 
  private:
   core::BdmaConfig config_;
   core::BdmaWorkspace workspace_;
+  // Per-component effort accumulated across every sharded P2-A solve this
+  // stage ran (empty while shard_workers is 0).
+  std::vector<core::counters::SolverCounters> shard_counters_;
 };
 
 // Lines 4-8 of Algorithm 2: one P2-B solve at the fixed assignment, the
@@ -247,11 +257,21 @@ class CgbaAssignStage final : public Stage {
             {"assignment", PortType::kAssignment}};
   }
   void run(StageContext& ctx) override;
-  void reset() override { problem_ = core::WcgProblem{}; }
+  void reset() override {
+    problem_ = core::WcgProblem{};
+    sharded_ = core::ShardedWorkspace{};
+    shard_counters_.clear();
+  }
+  [[nodiscard]] std::vector<core::counters::SolverCounters> shard_counters()
+      const override {
+    return shard_counters_;
+  }
 
  private:
   core::CgbaConfig config_;
   core::WcgProblem problem_;
+  core::ShardedWorkspace sharded_;
+  std::vector<core::counters::SolverCounters> shard_counters_;
 };
 
 // Assembles the slot decision of the CGBA-assignment baselines (the shared

@@ -1,15 +1,24 @@
 #include "sim/policy_params.h"
 
+#include <stdexcept>
+
 namespace eotora::sim {
 
 core::DppConfig dpp_config_from(const PolicyParams& params,
                                 core::P2aSolverKind solver) {
+  if (params.shard_workers > 0 && solver == core::P2aSolverKind::kRopt) {
+    throw std::invalid_argument(
+        "shard_workers requires a shardable P2-A solver (CGBA or MCBA); "
+        "ROPT has no sharded driver");
+  }
   core::DppConfig config;
   config.v = params.v;
   config.initial_queue = params.initial_queue;
   config.bdma.iterations = params.bdma_iterations;
   config.bdma.solver = solver;
   config.bdma.mcba.iterations = params.mcba_iterations;
+  config.bdma.cgba.shard_workers = params.shard_workers;
+  config.bdma.mcba.shard_workers = params.shard_workers;
   return config;
 }
 
@@ -19,8 +28,10 @@ core::BetaOnlyConfig beta_only_config_from(const PolicyParams& params) {
   return config;
 }
 
-core::CgbaConfig baseline_cgba_config_from(const PolicyParams&) {
-  return core::CgbaConfig{};
+core::CgbaConfig baseline_cgba_config_from(const PolicyParams& params) {
+  core::CgbaConfig config;
+  config.shard_workers = params.shard_workers;
+  return config;
 }
 
 MpcConfig mpc_config_from(const PolicyParams& params) { return params.mpc; }

@@ -27,6 +27,13 @@ struct PolicyParams {
   std::size_t bdma_iterations = 5;   // the paper's z
   std::size_t mcba_iterations = 3000;
   double fixed_fraction = 1.0;       // for "fixed-frequency"
+  // 0 = global P2-A solves (historical behaviour). >= 1 routes every CGBA
+  // / MCBA P2-A solve through the connected-component sharded drivers
+  // (core/sharded) with at most this many pool workers. Results are
+  // bit-identical for every value; only wall-clock and the per-shard
+  // effort breakdown in the artifact change. dpp_config_from throws for
+  // solvers without a sharded path (ROPT).
+  std::size_t shard_workers = 0;
   MpcConfig mpc;                     // for "mpc"
 };
 

@@ -75,6 +75,14 @@ const std::map<std::string, AxisSetter>& axis_setters() {
        [](double v, ScenarioConfig& config, PolicyParams&) {
          config.workload_trend_weight = v;
        }},
+      {"shards",
+       [](double v, ScenarioConfig&, PolicyParams& params) {
+         params.shard_workers = as_count(v, "shards");
+       }},
+      {"districts",
+       [](double v, ScenarioConfig& config, PolicyParams&) {
+         config.metro_districts = as_count(v, "districts");
+       }},
   };
   return setters;
 }
@@ -232,6 +240,14 @@ SweepCell run_cell(const SweepSpec& spec, const AxisAssignment& assignment,
         cell.stages[s].runs += result.stages[s].runs;
         cell.stages[s].seconds += result.stages[s].seconds;
         cell.stages[s].counters.merge(result.stages[s].counters);
+        // Per-shard breakdowns merge by component index (the component
+        // layout is a function of the scenario, not the seed).
+        auto& shards = cell.stages[s].shards;
+        const auto& delta = result.stages[s].shards;
+        if (delta.size() > shards.size()) shards.resize(delta.size());
+        for (std::size_t c = 0; c < delta.size(); ++c) {
+          shards[c].merge(delta[c]);
+        }
       }
     }
   }
@@ -395,6 +411,16 @@ util::Json SweepResult::to_json() const {
       stage_json["name"] = stage.name;
       stage_json["runs"] = stage.runs;
       stage_json["counters"] = stage.counters.to_json();
+      // Sharded P2-A stages: one counters object per connected component,
+      // in component order. Deterministic; the in-shard fields sum to this
+      // stage's "counters" totals (CI's validator checks exactly that).
+      if (!stage.shards.empty()) {
+        util::Json shards_json = util::Json::array();
+        for (const auto& shard : stage.shards) {
+          shards_json.push_back(shard.to_json());
+        }
+        stage_json["shards"] = std::move(shards_json);
+      }
       stage_json["seconds"] = stage.seconds;
       stages_json.push_back(std::move(stage_json));
     }

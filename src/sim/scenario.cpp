@@ -11,6 +11,80 @@ namespace eotora::sim {
 
 namespace {
 
+// The metro layout (ScenarioConfig::metro_districts): a square grid of
+// self-contained districts. Also fills `device_boxes` with each device's
+// waypoint confinement box so the caller can install it on the mobility
+// process. All geometric constants are fractions of the (square) tile side:
+// station jitter ±0.05, coverage 0.57, device inner box [0.15, 0.85] — see
+// the coverage/exclusion margins derived in scenario.h.
+std::shared_ptr<topology::Topology> build_metro_topology(
+    const ScenarioConfig& config, util::Rng& rng,
+    std::vector<topology::BoundingBox>& device_boxes) {
+  EOTORA_REQUIRE(config.stations_per_district >= 1);
+  EOTORA_REQUIRE(config.servers_per_cluster >= 1);
+  EOTORA_REQUIRE(config.devices >= 1);
+  const std::size_t districts = config.metro_districts;
+  const std::size_t grid = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(districts))));
+  EOTORA_REQUIRE_MSG(grid * grid == districts,
+                     "metro_districts=" << districts
+                                        << " must be a perfect square");
+
+  topology::TopologyBuilder builder;
+  const double side = config.region_m;
+  builder.set_region(topology::Region{side, side});
+  const double tile = side / static_cast<double>(grid);
+
+  const energy::QuadraticEnergy reference = energy::reference_cpu_fit();
+  std::size_t server_index = 0;
+  std::vector<topology::ClusterId> rooms;
+  rooms.reserve(districts);
+  for (std::size_t d = 0; d < districts; ++d) {
+    const double origin_x = static_cast<double>(d % grid) * tile;
+    const double origin_y = static_cast<double>(d / grid) * tile;
+    const topology::Point center{origin_x + 0.5 * tile, origin_y + 0.5 * tile};
+    rooms.push_back(
+        builder.add_cluster("metro-room-" + std::to_string(d), center));
+    for (std::size_t j = 0; j < config.servers_per_cluster; ++j) {
+      const int cores = (server_index % 2 == 0) ? 64 : 128;
+      auto model = std::make_shared<energy::QuadraticEnergy>(
+          energy::perturbed_model(reference, rng));
+      builder.add_server("server-" + std::to_string(server_index), rooms[d],
+                         cores, 1.8, 3.6, std::move(model));
+      ++server_index;
+    }
+    for (std::size_t b = 0; b < config.stations_per_district; ++b) {
+      const topology::Point position{
+          center.x + rng.uniform(-0.05, 0.05) * tile,
+          center.y + rng.uniform(-0.05, 0.05) * tile};
+      builder.add_base_station(
+          "metro-bs-" + std::to_string(d) + "-" + std::to_string(b), position,
+          topology::Band::kMid, /*coverage_radius_m=*/0.57 * tile,
+          rng.uniform(50e6, 100e6), rng.uniform(0.5e9, 1e9),
+          /*fronthaul_spectral_efficiency=*/10.0, {rooms[d]});
+    }
+  }
+
+  device_boxes.clear();
+  device_boxes.reserve(config.devices);
+  for (std::size_t i = 0; i < config.devices; ++i) {
+    const std::size_t d = i % districts;
+    const double origin_x = static_cast<double>(d % grid) * tile;
+    const double origin_y = static_cast<double>(d / grid) * tile;
+    const topology::BoundingBox box{origin_x + 0.15 * tile,
+                                    origin_y + 0.15 * tile,
+                                    origin_x + 0.85 * tile,
+                                    origin_y + 0.85 * tile};
+    device_boxes.push_back(box);
+    builder.add_device("device-" + std::to_string(i),
+                       topology::Point{rng.uniform(box.min_x, box.max_x),
+                                       rng.uniform(box.min_y, box.max_y)},
+                       /*speed_mps=*/rng.uniform(0.5, 2.5));
+  }
+
+  return std::make_shared<topology::Topology>(builder.build());
+}
+
 std::shared_ptr<topology::Topology> build_topology(
     const ScenarioConfig& config, util::Rng& rng) {
   EOTORA_REQUIRE(config.low_band_stations >= 1);
@@ -97,7 +171,16 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
   util::Rng channel_rng = rng.fork();
   util::Rng mobility_rng = rng.fork();
 
-  topology_ = build_topology(config, topo_rng);
+  std::vector<topology::BoundingBox> device_boxes;
+  if (config.metro_districts > 0) {
+    EOTORA_REQUIRE_MSG(
+        config.mobility == ScenarioConfig::Mobility::kRandomWaypoint,
+        "metro scenarios require random-waypoint mobility (waypoints are "
+        "confined to district boxes; Gauss-Markov walks would leave coverage)");
+    topology_ = build_metro_topology(config, topo_rng, device_boxes);
+  } else {
+    topology_ = build_topology(config, topo_rng);
+  }
   instance_ = std::make_unique<core::Instance>(
       topology_,
       core::Instance::random_sigma(config.devices, topology_->num_servers(),
@@ -134,6 +217,9 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
         topology::MobilityConfig{/*slot_duration_s=*/120.0,
                                  /*pause_probability=*/0.1},
         config.devices, mobility_rng);
+    if (!device_boxes.empty()) {
+      waypoint_mobility_->set_bounding_boxes(std::move(device_boxes));
+    }
   } else {
     gauss_markov_mobility_ =
         std::make_unique<topology::GaussMarkovMobility>(

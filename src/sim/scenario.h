@@ -44,6 +44,24 @@ struct ScenarioConfig {
   double slot_hours = 1.0;       // hourly slots (NYISO prices are hourly)
   std::size_t period = 24;       // D: slots per day
   double region_m = 2000.0;      // square service-area side
+  // Metro-scale layout: 0 = the paper's mixed-coverage topology above.
+  // > 0 tiles the region with a square grid of `metro_districts` districts
+  // (must be a perfect square). Each district gets its own server room with
+  // `servers_per_cluster` servers, `stations_per_district` mid-band
+  // stations jittered around the tile center (coverage radius 0.57 tile),
+  // and an equal round-robin share of the devices, confined for the whole
+  // horizon to the tile's inner box [0.15, 0.85]². The geometry guarantees
+  // every device is always covered by every own-district station (max
+  // distance 0.40·√2 ≈ 0.566 tile) and never by a neighboring district's
+  // (min distance 0.60 tile), and fronthaul wires stations only to the
+  // local room — so the WCG decomposes into exactly one connected component
+  // per district. This is the scenario the sharded P2-A drivers
+  // (core/sharded) and bench/scaling's metro study exercise at 10⁵+
+  // devices. Metro mode requires kRandomWaypoint mobility (waypoints are
+  // box-confined) and ignores mid_band_stations / low_band_stations /
+  // clusters.
+  std::size_t metro_districts = 0;
+  std::size_t stations_per_district = 2;
   std::uint64_t seed = 42;
   // State-process knobs.
   double workload_trend_weight = 0.5;  // non-iid share of f and d

@@ -1,6 +1,7 @@
 #include "topology/mobility.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
 
@@ -15,6 +16,19 @@ RandomWaypointMobility::RandomWaypointMobility(const MobilityConfig& config,
                  config.pause_probability <= 1.0);
 }
 
+void RandomWaypointMobility::set_bounding_boxes(
+    std::vector<BoundingBox> boxes) {
+  EOTORA_REQUIRE_MSG(boxes.empty() || boxes.size() == states_.size(),
+                     "boxes=" << boxes.size()
+                              << " devices=" << states_.size());
+  for (const BoundingBox& box : boxes) {
+    EOTORA_REQUIRE_MSG(box.min_x <= box.max_x && box.min_y <= box.max_y,
+                       "[" << box.min_x << "," << box.max_x << "]x["
+                           << box.min_y << "," << box.max_y << "]");
+  }
+  boxes_ = std::move(boxes);
+}
+
 void RandomWaypointMobility::step(Topology& topology) {
   EOTORA_REQUIRE_MSG(states_.size() == topology.num_devices(),
                      "mobility built for " << states_.size()
@@ -27,8 +41,14 @@ void RandomWaypointMobility::step(Topology& topology) {
     DeviceState& state = states_[i];
     if (!state.has_waypoint) {
       if (rng_.bernoulli(config_.pause_probability)) continue;
-      state.waypoint = Point{rng_.uniform(0.0, region.width),
-                             rng_.uniform(0.0, region.height)};
+      if (boxes_.empty()) {
+        state.waypoint = Point{rng_.uniform(0.0, region.width),
+                               rng_.uniform(0.0, region.height)};
+      } else {
+        const BoundingBox& box = boxes_[i];
+        state.waypoint = Point{rng_.uniform(box.min_x, box.max_x),
+                               rng_.uniform(box.min_y, box.max_y)};
+      }
       state.has_waypoint = true;
     }
     const double step_m = device.speed_mps * config_.slot_duration_s;

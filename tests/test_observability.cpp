@@ -153,6 +153,8 @@ TEST(CountersTest, MergeAndEqualityCoverEveryField) {
   b.engine_rebuilds = 6;
   b.engine_term_refreshes = 7;
   b.lemma1_evaluations = 8;
+  b.component_finds = 9;
+  b.component_reuses = 10;
   SolverCounters merged = a;
   merged.merge(b);
   EXPECT_EQ(merged.cgba_rounds, 1u);
@@ -163,6 +165,8 @@ TEST(CountersTest, MergeAndEqualityCoverEveryField) {
   EXPECT_EQ(merged.engine_rebuilds, 6u);
   EXPECT_EQ(merged.engine_term_refreshes, 7u);
   EXPECT_EQ(merged.lemma1_evaluations, 8u);
+  EXPECT_EQ(merged.component_finds, 9u);
+  EXPECT_EQ(merged.component_reuses, 10u);
   EXPECT_NE(merged, a);
   SolverCounters again = a;
   again.merge(b);
@@ -179,7 +183,8 @@ TEST(CountersTest, ToJsonListsEveryCounterFieldInOrder) {
       "cgba_rounds",       "cgba_moves",
       "mcba_proposals",    "mcba_accepted",
       "bdma_iterations",   "engine_rebuilds",
-      "engine_term_refreshes", "lemma1_evaluations"};
+      "engine_term_refreshes", "lemma1_evaluations",
+      "component_finds",   "component_reuses"};
   ASSERT_EQ(json.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(json.items()[i].first, expected[i]) << i;
