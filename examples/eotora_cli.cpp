@@ -34,6 +34,10 @@ options (all --key=value):
   --q0       initial queue backlog Q(1)                           [0]
   --z        BDMA iterations                                      [5]
   --seed     scenario seed                                        [42]
+  --scenario named scenario preset from sim/scenario_registry.h
+             (paper | handover | churn | bursty | price-spike): a
+             pure ScenarioConfig transform applied BEFORE the other
+             flags, so --devices/--budget/... still win          [paper]
   --shards   run the P2-A solve sharded: decompose the WCG into its
              connected components and solve them with up to this many
              workers (results are bit-identical to the global solve for
@@ -62,6 +66,8 @@ options (all --key=value):
              tracing never changes results or the printed counters
   --list-policies  print every registry policy name with a one-line
              description, then exit
+  --list-scenarios  print every registered scenario preset with a
+             one-line description, then exit
   --help     this text
 
 Deterministic solver counters (best-response rounds, accepted moves, BDMA
@@ -110,10 +116,10 @@ int main(int argc, char** argv) {
   try {
     const util::Args args(argc, argv,
                           {"policy", "devices", "days", "horizon", "budget",
-                           "v", "q0", "z", "seed", "shards", "districts",
-                           "graph", "record", "replay", "log", "stream",
-                           "prefetch", "audit", "trace-out", "list-policies",
-                           "help"});
+                           "v", "q0", "z", "seed", "scenario", "shards",
+                           "districts", "graph", "record", "replay", "log",
+                           "stream", "prefetch", "audit", "trace-out",
+                           "list-policies", "list-scenarios", "help"});
     if (args.has("help")) {
       print_usage();
       return 0;
@@ -121,6 +127,12 @@ int main(int argc, char** argv) {
     if (args.has("list-policies")) {
       for (const auto& name : sim::registered_policies()) {
         std::cout << name << "  " << sim::policy_description(name) << "\n";
+      }
+      return 0;
+    }
+    if (args.has("list-scenarios")) {
+      for (const auto& name : sim::registered_scenarios()) {
+        std::cout << name << "  " << sim::scenario_description(name) << "\n";
       }
       return 0;
     }
@@ -158,6 +170,10 @@ int main(int argc, char** argv) {
     }
 
     sim::ScenarioConfig config;
+    // Presets transform the defaults first; explicit flags below still win.
+    if (args.has("scenario")) {
+      sim::apply_scenario_preset(args.get("scenario", ""), config);
+    }
     config.devices = static_cast<std::size_t>(args.get_int("devices", 100));
     config.budget_per_slot = args.get_double("budget", 1.0);
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));

@@ -19,7 +19,9 @@ ctest --test-dir build --output-on-failure
 
 # Benches ported onto sim::run_sweep: they take --out and write a JSON
 # artifact alongside the printed table.
-runner_benches="fig8_v_sweep fig9_budget_sweep scaling ablation_seeds"
+# des_validation is not runner-based but takes the same --out flag
+# (BENCH_des.json at the repo root is its committed baseline snapshot).
+runner_benches="fig8_v_sweep fig9_budget_sweep scaling ablation_seeds des_validation"
 
 mkdir -p results bench/out
 for bench in build/bench/*; do

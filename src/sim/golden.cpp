@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "sim/policy.h"
+#include "sim/scenario_registry.h"
 #include "sim/state_source.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -127,6 +128,49 @@ const std::vector<std::string>& golden_policies() {
   static const std::vector<std::string> policies = {
       "dpp-bdma", "dpp-mcba", "dpp-ropt", "beta-only"};
   return policies;
+}
+
+const std::vector<GoldenScenario>& golden_preset_scenarios() {
+  static const std::vector<GoldenScenario> scenarios = [] {
+    std::vector<GoldenScenario> list;
+    // One tiny-a-shaped world per non-paper preset, each with its own seed
+    // so the fixtures exercise genuinely different draws. The fixture name
+    // IS the preset name.
+    std::uint64_t seed = 44;
+    for (const std::string& preset : registered_scenarios()) {
+      if (preset == "paper") continue;  // identical to the tiny-* fixtures
+      GoldenScenario gs;
+      gs.name = preset;
+      gs.config.devices = 8;
+      gs.config.mid_band_stations = 2;
+      gs.config.low_band_stations = 1;
+      gs.config.clusters = 1;
+      gs.config.servers_per_cluster = 2;
+      gs.config.seed = seed;
+      seed += 11;
+      gs.horizon = 16;
+      apply_scenario_preset(preset, gs.config);
+      list.push_back(gs);
+    }
+    return list;
+  }();
+  return scenarios;
+}
+
+const std::vector<GoldenCase>& golden_cases() {
+  static const std::vector<GoldenCase> cases = [] {
+    std::vector<GoldenCase> list;
+    for (const GoldenScenario& gs : golden_scenarios()) {
+      for (const std::string& policy : golden_policies()) {
+        list.push_back(GoldenCase{&gs, policy});
+      }
+    }
+    for (const GoldenScenario& gs : golden_preset_scenarios()) {
+      list.push_back(GoldenCase{&gs, "dpp-bdma"});
+    }
+    return list;
+  }();
+  return cases;
 }
 
 const PolicyParams& golden_policy_params() {

@@ -40,6 +40,22 @@ struct GoldenScenario {
 // beta-only).
 [[nodiscard]] const std::vector<GoldenScenario>& golden_scenarios();
 [[nodiscard]] const std::vector<std::string>& golden_policies();
+// The scenario-diversity fixtures: one tiny world per registered non-paper
+// scenario preset (sim/scenario_registry.h), each paired with dpp-bdma
+// only — the presets drift-gate the GENERATORS, the 3x4 matrix above
+// drift-gates the policies.
+[[nodiscard]] const std::vector<GoldenScenario>& golden_preset_scenarios();
+
+// One committed fixture: a scenario plus the policy recorded over it.
+struct GoldenCase {
+  const GoldenScenario* scenario = nullptr;  // into one of the lists above
+  std::string policy;
+};
+// Every committed fixture, in fixture-file order: the full
+// golden_scenarios() x golden_policies() product (12), then
+// golden_preset_scenarios() x dpp-bdma (4). golden_tool and the drift
+// gates iterate THIS list — new fixtures only need a new entry here.
+[[nodiscard]] const std::vector<GoldenCase>& golden_cases();
 // The fixed PolicyParams every golden trace is recorded with.
 [[nodiscard]] const PolicyParams& golden_policy_params();
 

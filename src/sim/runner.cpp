@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "sim/scenario_registry.h"
 #include "util/build_info.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -125,6 +126,11 @@ void validate(const SweepSpec& spec) {
                                << " must be in [1, horizon=" << spec.horizon
                                << "]");
   EOTORA_REQUIRE(spec.seeds >= 1);
+  if (!spec.scenario.empty()) {
+    // Reject unknown preset names before any work happens.
+    ScenarioConfig config = spec.base;
+    apply_scenario_preset(spec.scenario, config);
+  }
   EOTORA_REQUIRE_MSG(!spec.policies.empty(), "no policies selected");
   EOTORA_REQUIRE_MSG(spec.axes.size() <= 2,
                      "at most two sweep axes supported, got "
@@ -178,6 +184,7 @@ SweepCell run_cell(const SweepSpec& spec, const AxisAssignment& assignment,
 
   ScenarioConfig config = spec.base;
   PolicyParams params = spec.params;
+  if (!spec.scenario.empty()) apply_scenario_preset(spec.scenario, config);
   for (const auto& [axis, value] : assignment) {
     apply_sweep_axis(axis, value, config, params);
   }
@@ -291,6 +298,7 @@ SweepResult run_sweep(const SweepSpec& spec, std::size_t threads) {
 
   SweepResult result;
   result.name = spec.name;
+  result.scenario = spec.scenario;
   result.axes = spec.axes;
   result.policies = spec.policies;
   result.horizon = spec.horizon;
@@ -359,6 +367,7 @@ util::Json SweepResult::to_json() const {
   doc["commit"] = util::build_info().commit;
   doc["build_type"] = util::build_info().build_type;
   doc["name"] = name;
+  if (!scenario.empty()) doc["scenario"] = scenario;
   doc["horizon"] = horizon;
   doc["window"] = window;
   doc["seeds"] = seeds;

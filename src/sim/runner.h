@@ -43,6 +43,11 @@ using AxisAssignment = std::vector<std::pair<std::string, double>>;
 struct SweepSpec {
   std::string name = "sweep";  // artifact name ("fig9_budget_sweep", ...)
   ScenarioConfig base;
+  // Named scenario preset (sim/scenario_registry.h) applied to every cell's
+  // config after `base` is copied and BEFORE the axes — so axis values win
+  // over preset values on the same knob. Empty means "paper" (no
+  // transform); unknown names throw at validation time.
+  std::string scenario;
   std::vector<SweepAxis> axes;        // 0, 1, or 2 axes
   std::vector<std::string> policies;  // registry names (sim/registry.h)
   PolicyParams params;
@@ -108,6 +113,7 @@ struct SweepCell {
 
 struct SweepResult {
   std::string name;
+  std::string scenario;  // preset name; empty for the stock configuration
   std::vector<SweepAxis> axes;
   std::vector<std::string> policies;
   std::size_t horizon = 0;

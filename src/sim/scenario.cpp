@@ -136,7 +136,8 @@ std::shared_ptr<topology::Topology> build_topology(
   }
 
   // Mid-band stations: ~hundred-meter-class cells on a jittered grid, wired
-  // fronthaul to one random room.
+  // fronthaul to one random room. The coverage scale multiplies a DRAWN
+  // value, so scaled and unscaled configs consume identical rng streams.
   for (std::size_t b = 0; b < config.mid_band_stations; ++b) {
     const topology::Point position{rng.uniform(0.15 * side, 0.85 * side),
                                    rng.uniform(0.15 * side, 0.85 * side)};
@@ -144,7 +145,7 @@ std::shared_ptr<topology::Topology> build_topology(
     builder.add_base_station("mid-band-" + std::to_string(b), position,
                              topology::Band::kMid,
                              /*coverage_radius_m=*/rng.uniform(0.25, 0.45) *
-                                 side,
+                                 side * config.mid_band_coverage_scale,
                              rng.uniform(50e6, 100e6), rng.uniform(0.5e9, 1e9),
                              /*fronthaul_spectral_efficiency=*/10.0, {room});
   }
@@ -162,6 +163,18 @@ std::shared_ptr<topology::Topology> build_topology(
 }  // namespace
 
 Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+  EOTORA_REQUIRE(config.mobility_slot_seconds > 0.0);
+  EOTORA_REQUIRE(config.mid_band_coverage_scale > 0.0);
+  EOTORA_REQUIRE(config.churn.leave_probability >= 0.0 &&
+                 config.churn.leave_probability <= 1.0);
+  EOTORA_REQUIRE(config.churn.join_probability >= 0.0 &&
+                 config.churn.join_probability <= 1.0);
+  EOTORA_REQUIRE(config.churn.away_workload_fraction > 0.0 &&
+                 config.churn.away_workload_fraction <= 1.0);
+  EOTORA_REQUIRE(config.bursts.probability >= 0.0 &&
+                 config.bursts.probability <= 1.0);
+  EOTORA_REQUIRE(config.bursts.multiplier >= 1.0);
+
   util::Rng rng(config.seed);
   util::Rng topo_rng = rng.fork();
   util::Rng sigma_rng = rng.fork();
@@ -170,6 +183,11 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
   util::Rng price_rng = rng.fork();
   util::Rng channel_rng = rng.fork();
   util::Rng mobility_rng = rng.fork();
+  // New forks stay APPENDED to this list: inserting one earlier would shift
+  // every stream after it and invalidate all golden fixtures.
+  churn_rng_ = rng.fork();
+  burst_rng_ = rng.fork();
+  active_.assign(config.devices, 1);
 
   std::vector<topology::BoundingBox> device_boxes;
   if (config.metro_districts > 0) {
@@ -214,17 +232,18 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
   // uniformly every slot.
   if (config.mobility == ScenarioConfig::Mobility::kRandomWaypoint) {
     waypoint_mobility_ = std::make_unique<topology::RandomWaypointMobility>(
-        topology::MobilityConfig{/*slot_duration_s=*/120.0,
-                                 /*pause_probability=*/0.1},
+        topology::MobilityConfig{
+            /*slot_duration_s=*/config.mobility_slot_seconds,
+            /*pause_probability=*/0.1},
         config.devices, mobility_rng);
     if (!device_boxes.empty()) {
       waypoint_mobility_->set_bounding_boxes(std::move(device_boxes));
     }
   } else {
-    gauss_markov_mobility_ =
-        std::make_unique<topology::GaussMarkovMobility>(
-            topology::GaussMarkovMobility::Config{}, config.devices,
-            mobility_rng);
+    topology::GaussMarkovMobility::Config gm_config;
+    gm_config.slot_duration_s = config.mobility_slot_seconds;
+    gauss_markov_mobility_ = std::make_unique<topology::GaussMarkovMobility>(
+        gm_config, config.devices, mobility_rng);
   }
 }
 
@@ -245,6 +264,30 @@ void Scenario::next_state(core::SlotState& out) {
   data_trace_->next_into(out.data_bits);
   channel_->step_into(*topology_, out.channel);
   out.price_per_mwh = price_trace_->next();
+
+  // Scenario-diversity transforms, applied on top of the drawn state.
+  // Disabled features draw NOTHING, so the state sequence of a stock config
+  // is bit-identical to pre-diversity builds.
+  if (config_.bursts.enabled) {
+    if (burst_rng_.bernoulli(config_.bursts.probability)) {
+      for (double& f : out.task_cycles) f *= config_.bursts.multiplier;
+      for (double& d : out.data_bits) d *= config_.bursts.multiplier;
+    }
+  }
+  if (config_.churn.enabled) {
+    // One draw per device per slot regardless of its current side of the
+    // chain, so the stream position never depends on the trajectory.
+    for (std::size_t i = 0; i < config_.devices; ++i) {
+      const bool flip = churn_rng_.bernoulli(
+          active_[i] != 0 ? config_.churn.leave_probability
+                          : config_.churn.join_probability);
+      if (flip) active_[i] = active_[i] != 0 ? 0 : 1;
+      if (active_[i] == 0) {
+        out.task_cycles[i] *= config_.churn.away_workload_fraction;
+        out.data_bits[i] *= config_.churn.away_workload_fraction;
+      }
+    }
+  }
 }
 
 std::vector<core::SlotState> Scenario::generate_states(std::size_t horizon) {

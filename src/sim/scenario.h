@@ -68,6 +68,43 @@ struct ScenarioConfig {
   trace::PriceTraceConfig price;
   Mobility mobility = Mobility::kRandomWaypoint;
   topology::ChannelConfig channel;  // attenuation shape, shadowing, bounds
+
+  // --- scenario-diversity knobs (all defaults reproduce the paper) -------
+  // Named presets over these live in sim/scenario_registry.h.
+
+  // Seconds of movement applied per slot. Larger values make devices cross
+  // cell boundaries mid-horizon (the handover scenario); 120 s is the
+  // historical default for both mobility processes.
+  double mobility_slot_seconds = 120.0;
+  // Scales the drawn mid-band coverage radii of the paper topology (< 1
+  // shrinks cells so mobility forces more reassociation; the low-band
+  // umbrella stations keep every device feasible). Ignored by the metro
+  // layout, whose geometry proof needs the stock radius.
+  double mid_band_coverage_scale = 1.0;
+
+  // Join/leave churn (Huang et al., arXiv 1904.13024): devices flip between
+  // present and away via a two-state Markov chain, one Bernoulli draw per
+  // device per slot. The instance shape is immutable, so an away device is
+  // not removed — its task and data shrink to `away_workload_fraction` of
+  // the drawn value (a keep-alive trickle), which moves real load on and
+  // off the system without perturbing any other generator's stream.
+  struct Churn {
+    bool enabled = false;
+    double leave_probability = 0.08;     // present -> away, per slot
+    double join_probability = 0.25;      // away -> present, per slot
+    double away_workload_fraction = 0.05;  // in (0, 1]
+  };
+  Churn churn;
+
+  // Bursty workload: with `probability` per slot, every device's f and d
+  // are scaled by `multiplier` for that slot (a correlated demand burst on
+  // top of the diurnal trend).
+  struct Bursts {
+    bool enabled = false;
+    double probability = 0.08;
+    double multiplier = 2.5;  // >= 1
+  };
+  Bursts bursts;
 };
 
 // A fully wired scenario: the topology, the immutable problem instance, and
@@ -107,6 +144,11 @@ class Scenario {
   std::unique_ptr<topology::ChannelModel> channel_;
   std::unique_ptr<topology::RandomWaypointMobility> waypoint_mobility_;
   std::unique_ptr<topology::GaussMarkovMobility> gauss_markov_mobility_;
+  // Appended after the mobility fork so enabling them never perturbs the
+  // streams of the original generators (golden fixtures stay byte-stable).
+  util::Rng churn_rng_;
+  util::Rng burst_rng_;
+  std::vector<char> active_;  // churn presence state, one flag per device
   std::size_t slot_ = 0;
 };
 

@@ -21,6 +21,7 @@
 
 namespace {
 
+using eotora::sim::GoldenCase;
 using eotora::sim::GoldenDivergence;
 using eotora::sim::GoldenScenario;
 using eotora::sim::GoldenTrace;
@@ -39,14 +40,13 @@ std::string fixture_path(const std::string& dir, const GoldenScenario& gs,
 }
 
 int run_record(const std::string& dir) {
-  for (const GoldenScenario& gs : eotora::sim::golden_scenarios()) {
-    for (const std::string& policy : eotora::sim::golden_policies()) {
-      const GoldenTrace trace = eotora::sim::record_golden_trace(gs, policy);
-      const std::string path = fixture_path(dir, gs, policy);
-      eotora::sim::write_golden_file(path, trace);
-      std::cout << "wrote " << path << " (" << trace.slots.size()
-                << " slots)\n";
-    }
+  for (const GoldenCase& gc : eotora::sim::golden_cases()) {
+    const GoldenTrace trace =
+        eotora::sim::record_golden_trace(*gc.scenario, gc.policy);
+    const std::string path = fixture_path(dir, *gc.scenario, gc.policy);
+    eotora::sim::write_golden_file(path, trace);
+    std::cout << "wrote " << path << " (" << trace.slots.size()
+              << " slots)\n";
   }
   return 0;
 }
@@ -54,26 +54,25 @@ int run_record(const std::string& dir) {
 int run_check(const std::string& dir) {
   std::size_t checked = 0;
   std::size_t drifted = 0;
-  for (const GoldenScenario& gs : eotora::sim::golden_scenarios()) {
-    for (const std::string& policy : eotora::sim::golden_policies()) {
-      const std::string path = fixture_path(dir, gs, policy);
-      ++checked;
-      GoldenTrace expected;
-      try {
-        expected = eotora::sim::load_golden_file(path);
-      } catch (const std::exception& error) {
-        std::cerr << "FAIL " << path << ": " << error.what() << "\n";
-        ++drifted;
-        continue;
-      }
-      const GoldenTrace actual = eotora::sim::record_golden_trace(gs, policy);
-      const GoldenDivergence div = eotora::sim::diff_golden(expected, actual);
-      if (div.identical) {
-        std::cout << "ok   " << path << "\n";
-      } else {
-        std::cerr << "FAIL " << path << ": " << div.describe() << "\n";
-        ++drifted;
-      }
+  for (const GoldenCase& gc : eotora::sim::golden_cases()) {
+    const std::string path = fixture_path(dir, *gc.scenario, gc.policy);
+    ++checked;
+    GoldenTrace expected;
+    try {
+      expected = eotora::sim::load_golden_file(path);
+    } catch (const std::exception& error) {
+      std::cerr << "FAIL " << path << ": " << error.what() << "\n";
+      ++drifted;
+      continue;
+    }
+    const GoldenTrace actual =
+        eotora::sim::record_golden_trace(*gc.scenario, gc.policy);
+    const GoldenDivergence div = eotora::sim::diff_golden(expected, actual);
+    if (div.identical) {
+      std::cout << "ok   " << path << "\n";
+    } else {
+      std::cerr << "FAIL " << path << ": " << div.describe() << "\n";
+      ++drifted;
     }
   }
   if (drifted > 0) {

@@ -213,6 +213,191 @@ TEST(FlowSim, RejectsBadInput) {
 namespace eotora::des {
 namespace {
 
+// --- property fuzz over random instances --------------------------------
+//
+// The acceptance invariant: under kStaticShares every task's completion
+// time equals the analytic three-term sum L^{C,A} + L^{C,F} + L^P to 1e-9
+// seconds, and a work-conserving (PS) run never finishes a task later than
+// the equal-share static run it shadows.
+
+core::Assignment random_assignment(std::size_t devices, util::Rng& rng) {
+  core::Assignment assignment;
+  for (std::size_t i = 0; i < devices; ++i) {
+    // bs-1 only reaches room-1 (server 2); keep the pairing feasible.
+    const std::size_t bs = rng.index(2);
+    assignment.bs_of.push_back(bs);
+    assignment.server_of.push_back(bs == 1 ? 2 : rng.index(3));
+  }
+  return assignment;
+}
+
+class FlowSimFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowSimFuzz, StaticCompletionEqualsAnalyticTo1e9) {
+  util::Rng rng(9000 + GetParam());
+  const std::size_t devices = 2 + rng.index(7);
+  const core::Instance instance = test::tiny_instance(devices);
+  const core::SlotState state = test::random_state(devices, 2, rng);
+  const core::Assignment assignment = random_assignment(devices, rng);
+  const core::Frequencies freq = instance.max_frequencies();
+  const auto alloc = core::optimal_allocation(instance, state, assignment);
+  const auto result = simulate_slot(instance, state, assignment, freq, alloc,
+                                    SharingDiscipline::kStaticShares);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const auto device = core::device_latency_under_allocation(
+        instance, state, assignment, freq, alloc, i);
+    EXPECT_NEAR(result.finish[i], device.total(), 1e-9)
+        << "device " << i << " of " << devices;
+  }
+}
+
+TEST_P(FlowSimFuzz, ProcessorSharingNeverSlowerThanEqualShares) {
+  util::Rng rng(9100 + GetParam());
+  const std::size_t devices = 2 + rng.index(7);
+  const core::Instance instance = test::tiny_instance(devices);
+  const core::SlotState state = test::random_state(devices, 2, rng);
+  const core::Assignment assignment = random_assignment(devices, rng);
+  const core::Frequencies freq = instance.max_frequencies();
+  // Equal shares are PS's static shadow: at every instant a PS flow's rate
+  // is at least its equal-share reservation, so no task finishes later.
+  const auto equal = core::equal_share_allocation(instance, state, assignment);
+  const auto ps = simulate_slot(instance, state, assignment, freq, equal,
+                                SharingDiscipline::kProcessorSharing);
+  const auto fixed = simulate_slot(instance, state, assignment, freq, equal,
+                                   SharingDiscipline::kStaticShares);
+  for (std::size_t i = 0; i < devices; ++i) {
+    EXPECT_LE(ps.finish[i], fixed.finish[i] + 1e-9) << "device " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowSimFuzz, ::testing::Range(0, 30));
+
+// --- the multi-slot engine ----------------------------------------------
+
+// `slots` random per-slot states + decisions over the tiny instance,
+// replayed into a FlowSimulator under `config`.
+HorizonResult run_horizon(const core::Instance& instance, HorizonConfig config,
+                          std::size_t slots, std::uint64_t seed,
+                          double cycle_scale = 1.0) {
+  util::Rng rng(seed);
+  const std::size_t devices = instance.num_devices();
+  FlowSimulator sim(instance, config);
+  for (std::size_t t = 0; t < slots; ++t) {
+    core::SlotState state = test::random_state(devices, 2, rng);
+    state.slot = t;
+    for (double& f : state.task_cycles) f *= cycle_scale;
+    core::Decision decision;
+    decision.assignment = random_assignment(devices, rng);
+    decision.frequencies = instance.max_frequencies();
+    decision.allocation =
+        core::optimal_allocation(instance, state, decision.assignment);
+    sim.push_slot(state, decision);
+  }
+  return sim.finish();
+}
+
+class FlowSimulatorMulti : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowSimulatorMulti, StaticSojournEqualsAnalyticForBothArrivalModels) {
+  const core::Instance instance = test::tiny_instance(5);
+  for (auto arrivals : {ArrivalModel::kSlotStart, ArrivalModel::kPoisson}) {
+    HorizonConfig config;
+    config.discipline = SharingDiscipline::kStaticShares;
+    config.arrivals = arrivals;
+    const HorizonResult result =
+        run_horizon(instance, config, 6, 400 + GetParam());
+    ASSERT_EQ(result.tasks.size(), 6u * 5u);
+    for (const TaskRecord& task : result.tasks) {
+      // Reserved rates are oblivious to arrival phase: the sojourn matches
+      // the fluid model exactly even mid-slot.
+      EXPECT_NEAR(task.sojourn(), task.analytic, 1e-9)
+          << "slot " << task.slot << " device " << task.device;
+    }
+    for (const SlotGap& gap : result.slots) {
+      EXPECT_LE(gap.max_device_gap, 1e-9);
+      EXPECT_NEAR(gap.analytic, gap.realized, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowSimulatorMulti, ::testing::Range(0, 5));
+
+TEST(FlowSimulator, PoissonArrivalsLandInsideTheirSlot) {
+  const core::Instance instance = test::tiny_instance(4);
+  const double slot_seconds = instance.slot_hours() * 3600.0;
+  HorizonConfig config;
+  config.arrivals = ArrivalModel::kPoisson;
+  config.arrival_rate = 2.5;
+  const HorizonResult result = run_horizon(instance, config, 4, 11);
+  ASSERT_EQ(result.tasks.size(), 4u * 4u);
+  bool some_offset = false;
+  for (const TaskRecord& task : result.tasks) {
+    const double start = static_cast<double>(task.slot) * slot_seconds;
+    EXPECT_GE(task.arrival, start);
+    EXPECT_LT(task.arrival, start + slot_seconds);
+    some_offset = some_offset || task.arrival > start;
+  }
+  EXPECT_TRUE(some_offset);  // the truncated-exponential draws really fire
+}
+
+TEST(FlowSimulator, StragglersSpillAcrossSlotBoundaries) {
+  const core::Instance instance = test::tiny_instance(4);
+  const double slot_seconds = instance.slot_hours() * 3600.0;
+  HorizonConfig config;
+  config.discipline = SharingDiscipline::kProcessorSharing;
+  // ~1e15-cycle tasks need thousands of seconds even at a server's full
+  // 2.3e11 cycles/s, so every slot spills into the next.
+  const HorizonResult result =
+      run_horizon(instance, config, 3, 12, /*cycle_scale=*/5e6);
+  std::size_t spillovers = 0;
+  for (const SlotGap& gap : result.slots) spillovers += gap.spillovers;
+  EXPECT_GT(spillovers, 0u);
+  for (const TaskRecord& task : result.tasks) {
+    EXPECT_GT(task.finish, task.arrival);
+  }
+  // The horizon result still accounts every admitted task exactly once.
+  EXPECT_EQ(result.tasks.size(), 3u * 4u);
+  EXPECT_GT(result.total_realized(), 3.0 * slot_seconds);
+}
+
+TEST(FlowSimulator, EventOrderIsByteIdenticalAcrossReruns) {
+  const core::Instance instance = test::tiny_instance(6);
+  for (auto discipline : {SharingDiscipline::kStaticShares,
+                          SharingDiscipline::kProcessorSharing}) {
+    HorizonConfig config;
+    config.discipline = discipline;
+    config.arrivals = ArrivalModel::kPoisson;
+    config.record_events = true;
+    const HorizonResult first = run_horizon(instance, config, 5, 21);
+    const HorizonResult second = run_horizon(instance, config, 5, 21);
+    ASSERT_EQ(first.event_log.size(), second.event_log.size());
+    ASSERT_GT(first.event_log.size(), 0u);
+    for (std::size_t e = 0; e < first.event_log.size(); ++e) {
+      EXPECT_TRUE(first.event_log[e] == second.event_log[e]) << "event " << e;
+    }
+    EXPECT_EQ(first.events, second.events);
+  }
+}
+
+TEST(FlowSimulator, FinishExhaustsTheEngine) {
+  const core::Instance instance = test::tiny_instance(2);
+  HorizonConfig config;
+  FlowSimulator sim(instance, config);
+  util::Rng rng(3);
+  core::SlotState state = test::random_state(2, 2, rng);
+  core::Decision decision;
+  decision.assignment.bs_of = {0, 0};
+  decision.assignment.server_of = {0, 1};
+  decision.frequencies = instance.max_frequencies();
+  decision.allocation =
+      core::optimal_allocation(instance, state, decision.assignment);
+  sim.push_slot(state, decision);
+  EXPECT_EQ(sim.slots_pushed(), 1u);
+  (void)sim.finish();
+  EXPECT_THROW(sim.push_slot(state, decision), std::logic_error);
+  EXPECT_THROW((void)sim.finish(), std::logic_error);
+}
+
 TEST(FlowSim, SimultaneousCompletionsBatchIntoOneEvent) {
   // Eight IDENTICAL devices through identical resources: every stage
   // completes simultaneously for all flows, so the whole slot takes exactly

@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "sim/golden.h"
+#include "sim/scenario_registry.h"
 #include "util/trace.h"
 
 #ifndef EOTORA_GOLDEN_DIR
@@ -123,8 +124,18 @@ TEST(GoldenFixtures, FilenameAndMatrixShape) {
             "tiny-a.dpp-bdma.json");
   EXPECT_EQ(sim::golden_scenarios().size(), 3u);
   EXPECT_EQ(sim::golden_policies().size(), 4u);
+  // One preset fixture per registered non-paper scenario generator.
+  EXPECT_EQ(sim::golden_preset_scenarios().size(),
+            sim::registered_scenarios().size() - 1);
+  // The case list is the 3x4 product plus the preset x dpp-bdma fixtures.
+  EXPECT_EQ(sim::golden_cases().size(),
+            sim::golden_scenarios().size() * sim::golden_policies().size() +
+                sim::golden_preset_scenarios().size());
   for (const std::string& policy : sim::golden_policies()) {
     EXPECT_TRUE(sim::is_registered_policy(policy)) << policy;
+  }
+  for (const GoldenScenario& gs : sim::golden_preset_scenarios()) {
+    EXPECT_TRUE(sim::is_registered_scenario(gs.name)) << gs.name;
   }
 }
 
@@ -182,30 +193,30 @@ TEST(GoldenFixtures, CommittedFixtureMatchesFreshRecording) {
   EXPECT_TRUE(div.identical) << div.describe();
 }
 
-// The observability inertness gate over the whole fixture matrix: with
-// util/trace enabled, every one of the 12 committed fixtures must still
-// re-derive byte-identically. Tracing reads clocks and appends to its own
-// buffers but never touches an RNG or a result value; a divergence here
-// means instrumentation leaked into the decision path.
+// The observability inertness gate over the whole fixture list: with
+// util/trace enabled, every committed fixture (the 3x4 policy matrix plus
+// the scenario-preset cases) must still re-derive byte-identically. Tracing
+// reads clocks and appends to its own buffers but never touches an RNG or a
+// result value; a divergence here means instrumentation leaked into the
+// decision path.
 TEST(GoldenFixtures, AllFixturesAreByteIdenticalWithTracingEnabled) {
   const bool was_enabled = util::trace::enabled();
   util::trace::clear();
   util::trace::set_enabled(true);
   std::size_t checked = 0;
-  for (const GoldenScenario& gs : sim::golden_scenarios()) {
-    for (const std::string& policy : sim::golden_policies()) {
-      const std::string path = std::string(EOTORA_GOLDEN_DIR) + "/" +
-                               sim::golden_fixture_filename(gs.name, policy);
-      const GoldenTrace expected = sim::load_golden_file(path);
-      const GoldenTrace actual = sim::record_golden_trace(gs, policy);
-      const GoldenDivergence div = sim::diff_golden(expected, actual);
-      EXPECT_TRUE(div.identical)
-          << gs.name << "/" << policy << " diverged with tracing on: "
-          << div.describe();
-      ++checked;
-    }
+  for (const sim::GoldenCase& gc : sim::golden_cases()) {
+    const std::string path =
+        std::string(EOTORA_GOLDEN_DIR) + "/" +
+        sim::golden_fixture_filename(gc.scenario->name, gc.policy);
+    const GoldenTrace expected = sim::load_golden_file(path);
+    const GoldenTrace actual = sim::record_golden_trace(*gc.scenario, gc.policy);
+    const GoldenDivergence div = sim::diff_golden(expected, actual);
+    EXPECT_TRUE(div.identical)
+        << gc.scenario->name << "/" << gc.policy
+        << " diverged with tracing on: " << div.describe();
+    ++checked;
   }
-  EXPECT_EQ(checked, 12u);
+  EXPECT_EQ(checked, 16u);
   EXPECT_GT(util::trace::event_count(), 0u);  // tracing really was live
   util::trace::set_enabled(was_enabled);
   util::trace::clear();
