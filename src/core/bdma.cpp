@@ -77,20 +77,41 @@ void bdma_p2a_iterate(const Instance& instance, const SlotState& state,
   loop.assignment = problem.to_assignment(loop.p2a.profile);
 }
 
-void bdma_p2b_iterate(const Instance& instance, const SlotState& state,
-                      double v, double q, const BdmaConfig& config,
-                      BdmaLoopState& loop) {
-  // Line 4: solve P2-B at the fixed assignment.
-  const P2bResult p2b = solve_p2b(instance, state, loop.assignment, v, q,
-                                  config.freq_tolerance);
+namespace {
+
+// Lines 5-8 of Algorithm 2: keep the best pair by the P2 objective, hand Ω
+// to the next iteration.
+void p2b_track_best(BdmaLoopState& loop, const P2bResult& p2b) {
   loop.best.objective_history.push_back(p2b.objective);
-  // Lines 5-8: keep the best pair by the P2 objective.
   if (p2b.objective < loop.best.objective) {
     loop.best.objective = p2b.objective;
     loop.best.assignment = loop.assignment;
     loop.best.frequencies = p2b.frequencies;
   }
   loop.omega = p2b.frequencies;
+}
+
+}  // namespace
+
+void bdma_p2b_iterate(const Instance& instance, const SlotState& state,
+                      double v, double q, const BdmaConfig& config,
+                      BdmaWorkspace& workspace, BdmaLoopState& loop) {
+  // Line 4: solve P2-B at the fixed assignment. The per-server loads come
+  // from the workspace problem's option arena (same bits as the sqrt-chain
+  // recompute), and the bisection lanes reuse the workspace buffers.
+  solve_p2b(instance, state, loop.assignment, workspace.problem,
+            loop.p2a.profile, v, q, config.freq_tolerance, workspace.p2b,
+            workspace.p2b_result);
+  p2b_track_best(loop, workspace.p2b_result);
+}
+
+void bdma_p2b_iterate(const Instance& instance, const SlotState& state,
+                      double v, double q, const BdmaConfig& config,
+                      P2bWorkspace& p2b_workspace, P2bResult& p2b_result,
+                      BdmaLoopState& loop) {
+  solve_p2b(instance, state, loop.assignment, v, q, config.freq_tolerance,
+            p2b_workspace, p2b_result);
+  p2b_track_best(loop, p2b_result);
 }
 
 void bdma_finish_slot(const Instance& instance, const SlotState& state,
@@ -119,7 +140,7 @@ BdmaResult bdma(const Instance& instance, const SlotState& state, double v,
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     EOTORA_TRACE_SPAN("bdma/iteration");
     bdma_p2a_iterate(instance, state, config, iter, rng, workspace, loop);
-    bdma_p2b_iterate(instance, state, v, q, config, loop);
+    bdma_p2b_iterate(instance, state, v, q, config, workspace, loop);
   }
   bdma_finish_slot(instance, state, loop);
   return std::move(loop.best);

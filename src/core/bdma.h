@@ -54,6 +54,9 @@ struct BdmaWorkspace {
   // Scratch for the sharded P2-A drivers (used only when the inner solver
   // config enables shard_workers).
   ShardedWorkspace sharded;
+  // Scratch for the per-iteration P2-B solve (batched kernel lanes).
+  P2bWorkspace p2b;
+  P2bResult p2b_result;
 };
 
 // The loop-carried state of Algorithm 2, exposed so the per-iteration
@@ -87,10 +90,19 @@ void bdma_p2a_iterate(const Instance& instance, const SlotState& state,
                       util::Rng& rng, BdmaWorkspace& workspace,
                       BdmaLoopState& loop);
 
-// Lines 4-8: one P2-B solve at the fixed assignment, best-pair tracking by
+// Lines 4-8: one P2-B solve at the fixed assignment (reading the per-server
+// loads from the workspace problem's option arena), best-pair tracking by
 // the P2 objective, and the Ω hand-off to the next iteration.
 void bdma_p2b_iterate(const Instance& instance, const SlotState& state,
                       double v, double q, const BdmaConfig& config,
+                      BdmaWorkspace& workspace, BdmaLoopState& loop);
+
+// As above for drivers without a BdmaWorkspace (the sim::pipeline P2-B
+// stage): the per-server loads come from the sqrt-chain overload of
+// solve_p2b, which carries the same bits as the arena path.
+void bdma_p2b_iterate(const Instance& instance, const SlotState& state,
+                      double v, double q, const BdmaConfig& config,
+                      P2bWorkspace& p2b_workspace, P2bResult& p2b_result,
                       BdmaLoopState& loop);
 
 // Derives the reported latency and Θ for loop.best after the last

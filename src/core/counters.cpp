@@ -20,6 +20,8 @@ void SolverCounters::merge(const SolverCounters& other) {
   lemma1_evaluations += other.lemma1_evaluations;
   component_finds += other.component_finds;
   component_reuses += other.component_reuses;
+  arena_precomputes += other.arena_precomputes;
+  arena_precompute_reuses += other.arena_precompute_reuses;
 }
 
 bool SolverCounters::operator==(const SolverCounters& other) const {
@@ -31,7 +33,9 @@ bool SolverCounters::operator==(const SolverCounters& other) const {
          engine_term_refreshes == other.engine_term_refreshes &&
          lemma1_evaluations == other.lemma1_evaluations &&
          component_finds == other.component_finds &&
-         component_reuses == other.component_reuses;
+         component_reuses == other.component_reuses &&
+         arena_precomputes == other.arena_precomputes &&
+         arena_precompute_reuses == other.arena_precompute_reuses;
 }
 
 util::Json SolverCounters::to_json() const {
@@ -48,6 +52,8 @@ util::Json SolverCounters::to_json() const {
   out["lemma1_evaluations"] = lemma1_evaluations;
   out["component_finds"] = component_finds;
   out["component_reuses"] = component_reuses;
+  out["arena_precomputes"] = arena_precomputes;
+  out["arena_precompute_reuses"] = arena_precompute_reuses;
   return out;
 }
 

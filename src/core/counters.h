@@ -49,6 +49,10 @@ struct SolverCounters {
   // reuses when a rebuild kept the same (bs, server) option structure.
   std::uint64_t component_finds = 0;
   std::uint64_t component_reuses = 0;
+  // WcgProblem::rebuild(): slot-invariant station-table derivations vs.
+  // reuses when the raw bandwidths/spectral efficiencies are bit-unchanged.
+  std::uint64_t arena_precomputes = 0;
+  std::uint64_t arena_precompute_reuses = 0;
 
   void merge(const SolverCounters& other);
   void reset() { *this = SolverCounters{}; }

@@ -1,9 +1,9 @@
 #include "core/lemma1.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "core/counters.h"
+#include "core/kernels/kernels.h"
 #include "util/check.h"
 
 namespace eotora::core {
@@ -11,6 +11,15 @@ namespace eotora::core {
 ResourceAllocation optimal_allocation(const Instance& instance,
                                       const SlotState& state,
                                       const Assignment& assignment) {
+  Lemma1Workspace workspace;
+  ResourceAllocation alloc;
+  optimal_allocation(instance, state, assignment, workspace, alloc);
+  return alloc;
+}
+
+void optimal_allocation(const Instance& instance, const SlotState& state,
+                        const Assignment& assignment,
+                        Lemma1Workspace& workspace, ResourceAllocation& out) {
   const auto& topo = instance.topology();
   const std::size_t devices = topo.num_devices();
   EOTORA_REQUIRE(assignment.bs_of.size() == devices);
@@ -19,15 +28,25 @@ ResourceAllocation optimal_allocation(const Instance& instance,
   EOTORA_REQUIRE(state.data_bits.size() == devices);
   ++counters::active().lemma1_evaluations;
 
-  // Per-resource denominators: Σ_j sqrt(c_j) over the devices sharing it.
-  std::vector<double> server_denominator(topo.num_servers(), 0.0);
-  std::vector<double> access_denominator(topo.num_base_stations(), 0.0);
-  std::vector<double> fronthaul_denominator(topo.num_base_stations(), 0.0);
+  Lemma1Workspace& w = workspace;
+  w.compute_num.resize(devices);
+  w.compute_den.resize(devices);
+  w.access_num.resize(devices);
+  w.access_den.resize(devices);
+  w.fronthaul_num.resize(devices);
+  w.fronthaul_den.resize(devices);
+  w.server_key.resize(devices);
+  w.bs_key.resize(devices);
+  w.sqrt_compute.resize(devices);
+  w.sqrt_access.resize(devices);
+  w.sqrt_fronthaul.resize(devices);
+  w.server_denominator.resize(topo.num_servers());
+  w.access_denominator.resize(topo.num_base_stations());
+  w.fronthaul_denominator.resize(topo.num_base_stations());
 
-  std::vector<double> sqrt_compute(devices, 0.0);
-  std::vector<double> sqrt_access(devices, 0.0);
-  std::vector<double> sqrt_fronthaul(devices, 0.0);
-
+  // Validate and stage the per-device operands; the sqrt/divide chains and
+  // the device-order denominator scatter run in the kernel layer with the
+  // same operand order and rounding as the pre-kernel open-coded loop.
   for (std::size_t i = 0; i < devices; ++i) {
     const std::size_t k = assignment.bs_of[i];
     const std::size_t n = assignment.server_of[i];
@@ -46,28 +65,42 @@ ResourceAllocation optimal_allocation(const Instance& instance,
         "device " << i << ": server " << n
                   << " is not reachable from base station " << k);
     const auto& bs = topo.base_station(topology::BaseStationId{k});
-    sqrt_compute[i] =
-        std::sqrt(state.task_cycles[i] / instance.suitability(i, n));
-    sqrt_access[i] = std::sqrt(state.data_bits[i] / h);
-    sqrt_fronthaul[i] =
-        std::sqrt(state.data_bits[i] / bs.fronthaul_spectral_efficiency);
-    server_denominator[n] += sqrt_compute[i];
-    access_denominator[k] += sqrt_access[i];
-    fronthaul_denominator[k] += sqrt_fronthaul[i];
+    w.server_key[i] = static_cast<std::uint32_t>(n);
+    w.bs_key[i] = static_cast<std::uint32_t>(k);
+    w.compute_num[i] = state.task_cycles[i];
+    w.compute_den[i] = instance.suitability(i, n);
+    w.access_num[i] = state.data_bits[i];
+    w.access_den[i] = h;
+    w.fronthaul_num[i] = state.data_bits[i];
+    w.fronthaul_den[i] = bs.fronthaul_spectral_efficiency;
   }
 
-  ResourceAllocation alloc;
-  alloc.phi.resize(devices);
-  alloc.psi_access.resize(devices);
-  alloc.psi_fronthaul.resize(devices);
-  for (std::size_t i = 0; i < devices; ++i) {
-    const std::size_t k = assignment.bs_of[i];
-    const std::size_t n = assignment.server_of[i];
-    alloc.phi[i] = sqrt_compute[i] / server_denominator[n];
-    alloc.psi_access[i] = sqrt_access[i] / access_denominator[k];
-    alloc.psi_fronthaul[i] = sqrt_fronthaul[i] / fronthaul_denominator[k];
-  }
-  return alloc;
+  out.phi.resize(devices);
+  out.psi_access.resize(devices);
+  out.psi_fronthaul.resize(devices);
+
+  kernels::Lemma1Io io;
+  io.devices = devices;
+  io.compute_num = w.compute_num.data();
+  io.compute_den = w.compute_den.data();
+  io.server_key = w.server_key.data();
+  io.num_servers = topo.num_servers();
+  io.access_num = w.access_num.data();
+  io.access_den = w.access_den.data();
+  io.fronthaul_num = w.fronthaul_num.data();
+  io.fronthaul_den = w.fronthaul_den.data();
+  io.bs_key = w.bs_key.data();
+  io.num_stations = topo.num_base_stations();
+  io.sqrt_compute = w.sqrt_compute.data();
+  io.sqrt_access = w.sqrt_access.data();
+  io.sqrt_fronthaul = w.sqrt_fronthaul.data();
+  io.server_denominator = w.server_denominator.data();
+  io.access_denominator = w.access_denominator.data();
+  io.fronthaul_denominator = w.fronthaul_denominator.data();
+  io.phi = out.phi.data();
+  io.psi_access = out.psi_access.data();
+  io.psi_fronthaul = out.psi_fronthaul.data();
+  kernels::lemma1_batch(io);
 }
 
 }  // namespace eotora::core

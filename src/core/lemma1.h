@@ -9,10 +9,27 @@
 // Devices alone on a resource get the whole share (1.0).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/instance.h"
 #include "core/types.h"
 
 namespace eotora::core {
+
+// Reusable staging buffers for the batched Lemma-1 evaluation: contiguous
+// numerator/denominator/key spans handed to kernels::lemma1_batch, sized by
+// the first call and reused allocation-free afterwards. Callers that
+// evaluate per slot (pipeline stages, BDMA) keep one across the horizon.
+struct Lemma1Workspace {
+  std::vector<double> compute_num, compute_den;
+  std::vector<double> access_num, access_den;
+  std::vector<double> fronthaul_num, fronthaul_den;
+  std::vector<std::uint32_t> server_key, bs_key;
+  std::vector<double> sqrt_compute, sqrt_access, sqrt_fronthaul;
+  std::vector<double> server_denominator, access_denominator,
+      fronthaul_denominator;
+};
 
 // Computes (Φ*, Ψ*) for the given assignment. Requires the assignment to be
 // feasible for the state (covered BS with h > 0, server reachable from the
@@ -20,5 +37,12 @@ namespace eotora::core {
 [[nodiscard]] ResourceAllocation optimal_allocation(const Instance& instance,
                                                     const SlotState& state,
                                                     const Assignment& assignment);
+
+// Allocation-free overload: stages validation data into `workspace` and runs
+// the batched kernel path. Bit-identical to the wrapper above (which is just
+// this with throwaway buffers).
+void optimal_allocation(const Instance& instance, const SlotState& state,
+                        const Assignment& assignment,
+                        Lemma1Workspace& workspace, ResourceAllocation& out);
 
 }  // namespace eotora::core

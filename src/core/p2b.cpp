@@ -2,22 +2,183 @@
 
 #include <cmath>
 
+#include "core/kernels/kernels.h"
 #include "core/latency.h"
+#include "energy/linear_energy.h"
+#include "energy/quadratic_energy.h"
 #include "math/minimize1d.h"
 #include "util/check.h"
 
 namespace eotora::core {
 
+namespace {
+
+// The energy-derivative as an affine function slope·w + intercept, when the
+// model admits one with the exact bits of its virtual power_derivative():
+//   QuadraticEnergy: 2a·w + b  — its derivative computes (2.0·a)·w + b.
+//   LinearEnergy:    0·w + slope — 0.0·w is +0.0 for finite w > 0, and
+//                    0.0 + slope == slope exactly (slope >= 0).
+// Other models (piecewise) get no lane and keep the scalar path.
+bool affine_derivative(const energy::EnergyModel& model, double& slope,
+                       double& intercept) {
+  if (const auto* quad = dynamic_cast<const energy::QuadraticEnergy*>(&model)) {
+    slope = 2.0 * quad->a();
+    intercept = quad->b();
+    return true;
+  }
+  if (const auto* lin = dynamic_cast<const energy::LinearEnergy*>(&model)) {
+    slope = 0.0;
+    intercept = lin->slope();
+    return true;
+  }
+  return false;
+}
+
+// Shared solve body; expects workspace.load already filled. Servers with an
+// affine derivative accumulate into the batch lanes and solve through the
+// kernel layer; the rest run math::derivative_bisection exactly as the
+// pre-kernel code did.
+void solve_from_loads(const Instance& instance, const SlotState& state,
+                      const Assignment& assignment, double v, double q,
+                      double tolerance, P2bWorkspace& w, P2bResult& result) {
+  EOTORA_REQUIRE_MSG(v >= 0.0, "V=" << v);
+  EOTORA_REQUIRE_MSG(q >= 0.0, "Q=" << q);
+  const auto& topo = instance.topology();
+  const std::size_t servers = topo.num_servers();
+  result.frequencies.resize(servers);
+  const double price = state.price_per_mwh;
+  const double cost_scale = q * price * instance.slot_hours() / 1e6;
+
+  w.neg_va.clear();
+  w.cores.clear();
+  w.lo.clear();
+  w.hi.clear();
+  w.d_slope.clear();
+  w.d_intercept.clear();
+  w.lane_server.clear();
+  for (std::size_t n = 0; n < servers; ++n) {
+    const auto& server = topo.server(topology::ServerId{n});
+    const double a_n = w.load[n] * w.load[n];
+    if (q == 0.0 && a_n > 0.0) {
+      // No queue pressure: latency dominates, run flat out.
+      result.frequencies[n] = server.freq_max_ghz;
+      continue;
+    }
+    if (a_n == 0.0) {
+      // Idle server: only the energy term remains; its minimum over a convex
+      // nondecreasing cost is the lowest frequency.
+      result.frequencies[n] = server.freq_min_ghz;
+      continue;
+    }
+    const double cores = static_cast<double>(server.cores);
+    double slope = 0.0;
+    double intercept = 0.0;
+    if (affine_derivative(*server.energy_model, slope, intercept)) {
+      w.neg_va.push_back(-v * a_n);
+      w.cores.push_back(cores);
+      w.lo.push_back(server.freq_min_ghz);
+      w.hi.push_back(server.freq_max_ghz);
+      w.d_slope.push_back(slope);
+      w.d_intercept.push_back(intercept);
+      w.lane_server.push_back(static_cast<std::uint32_t>(n));
+      continue;
+    }
+    auto objective = [&](double ghz) {
+      return v * a_n / (cores * ghz * 1e9) +
+             cost_scale * server.power_watts(ghz);
+    };
+    auto derivative = [&](double ghz) {
+      return -v * a_n / (cores * ghz * ghz * 1e9) +
+             cost_scale * server.power_derivative_watts(ghz);
+    };
+    const auto minimum = math::derivative_bisection(
+        objective, derivative, server.freq_min_ghz, server.freq_max_ghz,
+        tolerance);
+    result.frequencies[n] = minimum.x;
+  }
+
+  if (!w.lane_server.empty()) {
+    kernels::P2bBatchView batch;
+    batch.n = w.lane_server.size();
+    batch.neg_va = w.neg_va.data();
+    batch.cores = w.cores.data();
+    batch.lo = w.lo.data();
+    batch.hi = w.hi.data();
+    batch.d_slope = w.d_slope.data();
+    batch.d_intercept = w.d_intercept.data();
+    batch.scale = cost_scale;
+    batch.tolerance = tolerance;
+    w.x.resize(batch.n);
+    kernels::p2b_batch(batch, w.x.data());
+    for (std::size_t lane = 0; lane < batch.n; ++lane) {
+      result.frequencies[w.lane_server[lane]] = w.x[lane];
+    }
+  }
+  result.objective =
+      dpp_objective(instance, state, assignment, result.frequencies, v, q);
+}
+
+}  // namespace
+
 P2bResult solve_p2b(const Instance& instance, const SlotState& state,
                     const Assignment& assignment, double v, double q,
                     double tolerance) {
+  P2bWorkspace workspace;
+  P2bResult result;
+  solve_p2b(instance, state, assignment, v, q, tolerance, workspace, result);
+  return result;
+}
+
+void solve_p2b(const Instance& instance, const SlotState& state,
+               const Assignment& assignment, double v, double q,
+               double tolerance, P2bWorkspace& workspace, P2bResult& out) {
+  const auto& topo = instance.topology();
+  const std::size_t devices = instance.num_devices();
+  EOTORA_REQUIRE(assignment.server_of.size() == devices);
+
+  // Per-server load sums Σ_{i on n} sqrt(f_i / σ_{i,n}).
+  workspace.load.assign(topo.num_servers(), 0.0);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::size_t n = assignment.server_of[i];
+    EOTORA_REQUIRE(n < topo.num_servers());
+    workspace.load[n] +=
+        std::sqrt(state.task_cycles[i] / instance.suitability(i, n));
+  }
+  solve_from_loads(instance, state, assignment, v, q, tolerance, workspace,
+                   out);
+}
+
+void solve_p2b(const Instance& instance, const SlotState& state,
+               const Assignment& assignment, const WcgProblem& problem,
+               const Profile& profile, double v, double q, double tolerance,
+               P2bWorkspace& workspace, P2bResult& out) {
+  const std::size_t devices = instance.num_devices();
+  EOTORA_REQUIRE(assignment.server_of.size() == devices);
+  EOTORA_REQUIRE(profile.size() == devices);
+
+  // Same device-order accumulation as the sqrt-chain overload; p_compute of
+  // the chosen option carries the identical sqrt(f_i / σ_{i,n}) bits the
+  // arena was built from.
+  workspace.load.assign(problem.num_servers(), 0.0);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const Option& opt =
+        problem.option_at(problem.arena_offset(i) + profile[i]);
+    EOTORA_REQUIRE(opt.server == assignment.server_of[i]);
+    workspace.load[opt.server] += opt.p_compute;
+  }
+  solve_from_loads(instance, state, assignment, v, q, tolerance, workspace,
+                   out);
+}
+
+P2bResult solve_p2b_reference(const Instance& instance, const SlotState& state,
+                              const Assignment& assignment, double v, double q,
+                              double tolerance) {
   EOTORA_REQUIRE_MSG(v >= 0.0, "V=" << v);
   EOTORA_REQUIRE_MSG(q >= 0.0, "Q=" << q);
   const auto& topo = instance.topology();
   const std::size_t devices = instance.num_devices();
   EOTORA_REQUIRE(assignment.server_of.size() == devices);
 
-  // Per-server load sums Σ_{i on n} sqrt(f_i / σ_{i,n}).
   std::vector<double> load(topo.num_servers(), 0.0);
   for (std::size_t i = 0; i < devices; ++i) {
     const std::size_t n = assignment.server_of[i];
@@ -32,13 +193,10 @@ P2bResult solve_p2b(const Instance& instance, const SlotState& state,
     const auto& server = topo.server(topology::ServerId{n});
     const double a_n = load[n] * load[n];
     if (q == 0.0 && a_n > 0.0) {
-      // No queue pressure: latency dominates, run flat out.
       result.frequencies[n] = server.freq_max_ghz;
       continue;
     }
     if (a_n == 0.0) {
-      // Idle server: only the energy term remains; its minimum over a convex
-      // nondecreasing cost is the lowest frequency.
       result.frequencies[n] = server.freq_min_ghz;
       continue;
     }

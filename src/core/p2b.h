@@ -8,8 +8,12 @@
 // this replaces the paper's CVX call.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/instance.h"
 #include "core/types.h"
+#include "core/wcg.h"
 
 namespace eotora::core {
 
@@ -21,11 +25,44 @@ struct P2bResult {
   double objective = 0.0;
 };
 
+// Reusable buffers for solve_p2b: the per-server load sums plus the SoA
+// lanes of the batched bisection (servers whose energy model has an affine
+// power derivative — the quadratic and linear models — solve as lockstep
+// kernel lanes; other models stay on the per-server scalar path).
+struct P2bWorkspace {
+  std::vector<double> load;  // Σ_{i on n} sqrt(f_i / σ_{i,n})
+  std::vector<double> neg_va, cores, lo, hi, d_slope, d_intercept, x;
+  std::vector<std::uint32_t> lane_server;  // lane -> server index
+};
+
 // Solves P2-B for the given assignment. Requires V >= 0, Q >= 0.
 [[nodiscard]] P2bResult solve_p2b(const Instance& instance,
                                   const SlotState& state,
                                   const Assignment& assignment, double v,
                                   double q, double tolerance = 1e-7);
+
+// Allocation-free overload (same result bits as the wrapper above).
+void solve_p2b(const Instance& instance, const SlotState& state,
+               const Assignment& assignment, double v, double q,
+               double tolerance, P2bWorkspace& workspace, P2bResult& out);
+
+// Arena-load overload: reads each device's sqrt(f_i / σ_{i,n}) straight from
+// the WCG option arena (p_compute of the chosen option, accumulated in
+// device order — the same bits the sqrt chain above recomputes) instead of
+// re-deriving it. `assignment` must decode `profile` — BDMA already has both
+// in hand.
+void solve_p2b(const Instance& instance, const SlotState& state,
+               const Assignment& assignment, const WcgProblem& problem,
+               const Profile& profile, double v, double q, double tolerance,
+               P2bWorkspace& workspace, P2bResult& out);
+
+// Pre-kernel per-server scalar path, kept verbatim as the differential
+// oracle tests/test_kernels.cpp compares the batched path against.
+[[nodiscard]] P2bResult solve_p2b_reference(const Instance& instance,
+                                            const SlotState& state,
+                                            const Assignment& assignment,
+                                            double v, double q,
+                                            double tolerance = 1e-7);
 
 // f(x, y, Ω) = V·T_t(x, y, Ω, β) + Q·Θ(Ω, p) — the P2 objective (paper §V).
 [[nodiscard]] double dpp_objective(const Instance& instance,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/kernels.h"
 #include "util/check.h"
 
 namespace eotora::core {
@@ -26,11 +27,8 @@ void loads_of(const WcgProblem& problem,
 }
 
 double value_of(const WcgProblem& problem, const std::vector<double>& loads) {
-  double value = 0.0;
-  for (std::size_t r = 0; r < loads.size(); ++r) {
-    value += problem.weight(r) * loads[r] * loads[r];
-  }
-  return value;
+  return kernels::weighted_sumsq(problem.weights().data(), loads.data(),
+                                 loads.size());
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/kernels/kernels.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -116,11 +117,9 @@ ShardedResult cgba_sharded_from(const WcgProblem& problem,
         ws.merged_loads[resources[t]] = ws.loads[c][t];
       }
     }
-    double cost = 0.0;
-    for (std::size_t r = 0; r < ws.merged_loads.size(); ++r) {
-      cost += problem.weight(r) * ws.merged_loads[r] * ws.merged_loads[r];
-    }
-    out.result.cost = cost;
+    out.result.cost =
+        kernels::weighted_sumsq(problem.weights().data(),
+                                ws.merged_loads.data(), ws.merged_loads.size());
   }
   return out;
 }

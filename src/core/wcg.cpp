@@ -49,25 +49,65 @@ void WcgProblem::rebuild(const Instance& instance, const SlotState& state,
 
   weights_.assign(num_servers_ + 2 * num_base_stations_, 0.0);
   set_frequencies(instance, frequencies);
-  for (std::size_t k = 0; k < num_base_stations_; ++k) {
+  // Slot-invariant station tables: reuse iff every raw bandwidth and
+  // fronthaul spectral efficiency is bitwise unchanged — then the cached
+  // reciprocals are trivially the exact bits a recompute would produce.
+  bool reuse = station_access_bw_.size() == num_base_stations_;
+  for (std::size_t k = 0; reuse && k < num_base_stations_; ++k) {
     const auto& bs = topo.base_station(topology::BaseStationId{k});
-    weights_[access_index(num_servers_, k)] = 1.0 / bs.access_bandwidth_hz;
+    reuse = station_access_bw_[k] == bs.access_bandwidth_hz &&
+            station_fronthaul_bw_[k] == bs.fronthaul_bandwidth_hz &&
+            fronthaul_se_[k] == bs.fronthaul_spectral_efficiency;
+  }
+  if (reuse) {
+    ++counters::active().arena_precompute_reuses;
+  } else {
+    station_access_bw_.resize(num_base_stations_);
+    station_fronthaul_bw_.resize(num_base_stations_);
+    inv_access_bw_.resize(num_base_stations_);
+    inv_fronthaul_bw_.resize(num_base_stations_);
+    fronthaul_se_.resize(num_base_stations_);
+    for (std::size_t k = 0; k < num_base_stations_; ++k) {
+      const auto& bs = topo.base_station(topology::BaseStationId{k});
+      station_access_bw_[k] = bs.access_bandwidth_hz;
+      station_fronthaul_bw_[k] = bs.fronthaul_bandwidth_hz;
+      inv_access_bw_[k] = 1.0 / bs.access_bandwidth_hz;
+      inv_fronthaul_bw_[k] = 1.0 / bs.fronthaul_bandwidth_hz;
+      fronthaul_se_[k] = bs.fronthaul_spectral_efficiency;
+    }
+    ++counters::active().arena_precomputes;
+  }
+  for (std::size_t k = 0; k < num_base_stations_; ++k) {
+    weights_[access_index(num_servers_, k)] = inv_access_bw_[k];
     weights_[fronthaul_index(num_servers_, num_base_stations_, k)] =
-        1.0 / bs.fronthaul_bandwidth_hz;
+        inv_fronthaul_bw_[k];
   }
 
   arena_.clear();
   offsets_.clear();
   offsets_.reserve(devices + 1);
   offsets_.push_back(0);
+  const SuitabilityMatrix& sigma = instance.sigma();
+  EOTORA_REQUIRE(sigma.size() == devices);
+  task_cycles_row_.resize(num_servers_);
+  sqrt_compute_row_.resize(num_servers_);
   for (std::size_t i = 0; i < devices; ++i) {
+    // Batched sqrt(f_i / σ_{i,·}) over the full server row: a server that
+    // appears under several covering base stations gets its chain evaluated
+    // once instead of once per option, with the same operands and rounding
+    // as the per-option chain it replaces. Entries for servers no option
+    // reaches are never read.
+    EOTORA_REQUIRE(sigma[i].size() == num_servers_);
+    std::fill(task_cycles_row_.begin(), task_cycles_row_.end(),
+              state.task_cycles[i]);
+    kernels::dispatch().sqrt_div(task_cycles_row_.data(), sigma[i].data(),
+                                 sqrt_compute_row_.data(), num_servers_);
     for (std::size_t k = 0; k < num_base_stations_; ++k) {
       const double h = state.channel[i][k];
       if (h <= 0.0) continue;  // not covered / unusable link
-      const auto& bs = topo.base_station(topology::BaseStationId{k});
       const double p_access = std::sqrt(state.data_bits[i] / h);
       const double p_fronthaul =
-          std::sqrt(state.data_bits[i] / bs.fronthaul_spectral_efficiency);
+          std::sqrt(state.data_bits[i] / fronthaul_se_[k]);
       for (topology::ServerId s :
            topo.reachable_servers(topology::BaseStationId{k})) {
         Option opt;
@@ -77,8 +117,7 @@ void WcgProblem::rebuild(const Instance& instance, const SlotState& state,
         opt.r_access = access_index(num_servers_, k);
         opt.r_fronthaul =
             fronthaul_index(num_servers_, num_base_stations_, k);
-        opt.p_compute = std::sqrt(state.task_cycles[i] /
-                                  instance.suitability(i, s.value));
+        opt.p_compute = sqrt_compute_row_[s.value];
         opt.p_access = p_access;
         opt.p_fronthaul = p_fronthaul;
         arena_.push_back(opt);
@@ -192,11 +231,8 @@ double WcgProblem::total_cost(const Profile& z) const {
 double WcgProblem::total_cost(const Profile& z,
                               std::vector<double>& scratch) const {
   loads_into(z, scratch);
-  double cost = 0.0;
-  for (std::size_t r = 0; r < scratch.size(); ++r) {
-    cost += weights_[r] * scratch[r] * scratch[r];
-  }
-  return cost;
+  return kernels::weighted_sumsq(weights_.data(), scratch.data(),
+                                 scratch.size());
 }
 
 double WcgProblem::player_cost(const Profile& z, std::size_t device) const {
@@ -519,11 +555,8 @@ void LoadTracker::add_device(std::size_t device, const Option& option,
 }
 
 double LoadTracker::total_cost() const {
-  double cost = 0.0;
-  for (std::size_t r = 0; r < loads_.size(); ++r) {
-    cost += problem_->weight(r) * loads_[r] * loads_[r];
-  }
-  return cost;
+  return kernels::weighted_sumsq(problem_->weights().data(), loads_.data(),
+                                 loads_.size());
 }
 
 double LoadTracker::player_cost(std::size_t device) const {
@@ -792,14 +825,14 @@ BestResponseEngine::BestResponseEngine(LoadTracker& tracker)
         static_cast<std::uint32_t>(server_device_entries_.size());
   }
   bs_device_offsets_.assign(num_base_stations_ + 1, 0);
-  for (const Group& grp : groups_) {
+  for (const kernels::ScanGroup& grp : groups_) {
     ++bs_device_offsets_[grp.bs + 1];
   }
   for (std::size_t k = 0; k < num_base_stations_; ++k) {
     bs_device_offsets_[k + 1] += bs_device_offsets_[k];
   }
   bs_device_entries_.resize(groups_.size());
-  for (const Group& grp : groups_) {
+  for (const kernels::ScanGroup& grp : groups_) {
     bs_device_entries_[bs_device_offsets_[grp.bs]++] = grp.device;
   }
   for (std::size_t k = num_base_stations_; k > 0; --k) {
@@ -846,21 +879,16 @@ const LoadTracker::BestResponse& BestResponseEngine::best_response(
   // additions instead of the full nine-flop evaluation.
   const double current = tracker_->player_cost(device);
   LoadTracker::BestResponse best{cur, current, current};
-  const double* tcj = tc_.data() + device * num_servers_;
-  for (std::uint32_t g = device_group_begin_[device];
-       g < device_group_begin_[device + 1]; ++g) {
-    const Group& grp = groups_[g];
-    const double a_term = ta_[device * num_base_stations_ + grp.bs];
-    const double f_term = tf_[device * num_base_stations_ + grp.bs];
-    for (std::uint32_t a = grp.begin; a < grp.end; ++a) {
-      const std::size_t o = a - base;
-      if (o == cur) continue;
-      const double c = (tcj[server_of_entry_[a]] + a_term) + f_term;
-      if (c < best.cost) {
-        best.cost = c;
-        best.option_index = o;
-      }
-    }
+  const std::uint32_t g_begin = device_group_begin_[device];
+  const kernels::ScanHit hit = kernels::best_response_scan(
+      tc_.data() + device * num_servers_, server_of_entry_.data(),
+      groups_.data() + g_begin, device_group_begin_[device + 1] - g_begin,
+      ta_.data() + device * num_base_stations_,
+      tf_.data() + device * num_base_stations_,
+      static_cast<std::uint32_t>(base + cur), current);
+  if (hit.entry != kernels::kNoEntry) {
+    best.option_index = hit.entry - base;
+    best.cost = hit.cost;
   }
   cached_[device] = best;
   return cached_[device];

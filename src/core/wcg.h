@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/kernels/kernels.h"
 #include "core/types.h"
 #include "util/rng.h"
 
@@ -118,6 +119,9 @@ class WcgProblem {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
   [[nodiscard]] std::size_t num_resources() const { return weights_.size(); }
+  // All resource weights m_r in the [compute][access][fronthaul] layout —
+  // the contiguous span the kernel-layer reductions run over.
+  [[nodiscard]] std::span<const double> weights() const { return weights_; }
   [[nodiscard]] std::size_t num_servers() const { return num_servers_; }
   [[nodiscard]] std::size_t num_base_stations() const {
     return num_base_stations_;
@@ -224,6 +228,22 @@ class WcgProblem {
   std::vector<std::size_t> offsets_;   // num_devices + 1 spans into arena_
   std::vector<std::uint32_t> device_of_;  // arena index -> owning device
   std::vector<double> weights_;        // m_r
+
+  // Slot-invariant station tables: the bandwidth reciprocals and fronthaul
+  // spectral efficiencies depend only on instance parameters, so rebuild()
+  // re-derives them only when the raw inputs changed bits (reuse keeps the
+  // reciprocals' exact bits trivially — the inputs are identical). The raw
+  // values double as the validation key, so a different instance at the
+  // same address can never smuggle stale tables in. Counted as
+  // counters::active().arena_precomputes / arena_precompute_reuses.
+  std::vector<double> station_access_bw_;     // raw W^A_k (validation key)
+  std::vector<double> station_fronthaul_bw_;  // raw W^F_k (validation key)
+  std::vector<double> inv_access_bw_;         // 1 / W^A_k
+  std::vector<double> inv_fronthaul_bw_;      // 1 / W^F_k
+  std::vector<double> fronthaul_se_;          // h^F_k
+  // rebuild() scratch for the batched per-device sqrt(f_i / σ_{i,·}) row.
+  std::vector<double> task_cycles_row_;
+  std::vector<double> sqrt_compute_row_;
   // resource -> arena indices of options touching it (CSR layout).
   std::vector<std::size_t> index_offsets_;  // num_resources + 1
   std::vector<std::uint32_t> index_entries_;
@@ -355,14 +375,6 @@ class BestResponseEngine {
   }
 
  private:
-  // A contiguous arena run of one device's options on one base station.
-  struct Group {
-    std::uint32_t begin = 0;  // arena range [begin, end)
-    std::uint32_t end = 0;
-    std::uint32_t device = 0;
-    std::uint32_t bs = 0;
-  };
-
   void refresh_compute_term(std::size_t device, std::size_t server);
   void refresh_access_term(std::size_t device, std::size_t bs);
   void refresh_fronthaul_term(std::size_t device, std::size_t bs);
@@ -372,7 +384,9 @@ class BestResponseEngine {
   std::size_t num_servers_ = 0;
   std::size_t num_base_stations_ = 0;
   std::vector<LoadTracker::BestResponse> cached_;  // scan result, per device
-  std::vector<Group> groups_;  // device-major (device, base station) runs
+  // Device-major (device, base station) runs, in the kernel layer's group
+  // layout — best_response hands them straight to kernels::best_response_scan.
+  std::vector<kernels::ScanGroup> groups_;
   std::vector<std::uint32_t> device_group_begin_;  // device -> first group
   std::vector<std::uint32_t> server_of_entry_;     // arena entry -> server
   // CSR lists of the distinct devices with an option on a server / a base

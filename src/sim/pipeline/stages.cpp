@@ -59,7 +59,7 @@ void P2aSolveStage::run(StageContext& ctx) {
 
 void P2bSolveStage::run(StageContext& ctx) {
   core::bdma_p2b_iterate(*ctx.instance, *ctx.state, v_, ctx.queue_before,
-                         config_, ctx.bdma);
+                         config_, p2b_, p2b_result_, ctx.bdma);
 }
 
 void AuditTapStage::run(StageContext& ctx) {
@@ -72,8 +72,8 @@ void DppDecisionOutStage::run(StageContext& ctx) {
   ctx.result.queue_before = ctx.queue_before;
   ctx.result.decision.assignment = best.assignment;
   ctx.result.decision.frequencies = best.frequencies;
-  ctx.result.decision.allocation =
-      core::optimal_allocation(*ctx.instance, *ctx.state, best.assignment);
+  core::optimal_allocation(*ctx.instance, *ctx.state, best.assignment,
+                           lemma1_, ctx.result.decision.allocation);
   ctx.result.latency = best.latency;
   ctx.result.theta = best.theta;
   ctx.result.energy_cost = best.theta + ctx.instance->budget_per_slot();
@@ -118,8 +118,8 @@ void CgbaAssignStage::run(StageContext& ctx) {
 void CgbaDecisionOutStage::run(StageContext& ctx) {
   ctx.result.decision.assignment = ctx.assignment;
   ctx.result.decision.frequencies = ctx.frequencies;
-  ctx.result.decision.allocation =
-      core::optimal_allocation(*ctx.instance, *ctx.state, ctx.assignment);
+  core::optimal_allocation(*ctx.instance, *ctx.state, ctx.assignment,
+                           lemma1_, ctx.result.decision.allocation);
   ctx.result.latency = ctx.p2a.cost;
   ctx.result.energy_cost =
       ctx.instance->energy_cost(ctx.frequencies, ctx.state->price_per_mwh);
@@ -139,8 +139,8 @@ void BetaDecisionOutStage::run(StageContext& ctx) {
   const double budget = ctx.instance->budget_per_slot();
   ctx.result.decision.assignment = ctx.oracle.assignment;
   ctx.result.decision.frequencies = ctx.oracle.frequencies;
-  ctx.result.decision.allocation = core::optimal_allocation(
-      *ctx.instance, *ctx.state, ctx.oracle.assignment);
+  core::optimal_allocation(*ctx.instance, *ctx.state, ctx.oracle.assignment,
+                           lemma1_, ctx.result.decision.allocation);
   ctx.result.latency = ctx.oracle.latency;
   ctx.result.energy_cost = ctx.oracle.energy_cost;
   ctx.result.theta = ctx.oracle.energy_cost - budget;
@@ -182,8 +182,8 @@ void MpcPlanStage::run(StageContext& ctx) {
 void MpcDecisionOutStage::run(StageContext& ctx) {
   ctx.result.decision.assignment = ctx.assignment;
   ctx.result.decision.frequencies = ctx.frequencies;
-  ctx.result.decision.allocation =
-      core::optimal_allocation(*ctx.instance, *ctx.state, ctx.assignment);
+  core::optimal_allocation(*ctx.instance, *ctx.state, ctx.assignment,
+                           lemma1_, ctx.result.decision.allocation);
   ctx.result.latency = core::reduced_latency(*ctx.instance, *ctx.state,
                                              ctx.assignment, ctx.frequencies);
   ctx.result.energy_cost =

@@ -25,6 +25,7 @@
 
 #include "core/bdma.h"
 #include "core/beta_only.h"
+#include "core/lemma1.h"
 #include "core/wcg.h"
 #include "sim/mpc_policy.h"
 #include "sim/pipeline/stage.h"
@@ -133,10 +134,19 @@ class P2bSolveStage final : public Stage {
             {"best", PortType::kBestSolution}};
   }
   void run(StageContext& ctx) override;
+  void reset() override {
+    p2b_ = core::P2bWorkspace{};
+    p2b_result_ = core::P2bResult{};
+  }
 
  private:
   double v_;
   core::BdmaConfig config_;
+  // P2-B solve scratch (batched kernel lanes), reused across slots. The
+  // stage prices loads through the sqrt-chain overload — same bits as the
+  // monolith's arena-load path, which lives in the P2-A stage's workspace.
+  core::P2bWorkspace p2b_;
+  core::P2bResult p2b_result_;
 };
 
 // Observation point between the solvers and the decision: calls the
@@ -179,6 +189,9 @@ class DppDecisionOutStage final : public Stage {
     return {{"decision", PortType::kDecision}};
   }
   void run(StageContext& ctx) override;
+
+ private:
+  core::Lemma1Workspace lemma1_;
 };
 
 // The greedy per-slot-budget frequency rule (GreedyBudgetPolicy's
@@ -293,6 +306,9 @@ class CgbaDecisionOutStage final : public Stage {
     return {{"decision", PortType::kDecision}};
   }
   void run(StageContext& ctx) override;
+
+ private:
+  core::Lemma1Workspace lemma1_;
 };
 
 // The Lemma-2 β-only oracle solve at the per-slot budget.
@@ -332,6 +348,9 @@ class BetaDecisionOutStage final : public Stage {
     return {{"decision", PortType::kDecision}};
   }
   void run(StageContext& ctx) override;
+
+ private:
+  core::Lemma1Workspace lemma1_;
 };
 
 // Owns MPC's online trend estimators: feeds them the observation, then
@@ -408,6 +427,9 @@ class MpcDecisionOutStage final : public Stage {
     return {{"decision", PortType::kDecision}};
   }
   void run(StageContext& ctx) override;
+
+ private:
+  core::Lemma1Workspace lemma1_;
 };
 
 }  // namespace eotora::sim::pipeline

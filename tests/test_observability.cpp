@@ -184,7 +184,8 @@ TEST(CountersTest, ToJsonListsEveryCounterFieldInOrder) {
       "mcba_proposals",    "mcba_accepted",
       "bdma_iterations",   "engine_rebuilds",
       "engine_term_refreshes", "lemma1_evaluations",
-      "component_finds",   "component_reuses"};
+      "component_finds",   "component_reuses",
+      "arena_precomputes", "arena_precompute_reuses"};
   ASSERT_EQ(json.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(json.items()[i].first, expected[i]) << i;
