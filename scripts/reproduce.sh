@@ -21,7 +21,9 @@ ctest --test-dir build --output-on-failure
 # artifact alongside the printed table.
 # des_validation is not runner-based but takes the same --out flag
 # (BENCH_des.json at the repo root is its committed baseline snapshot).
-runner_benches="fig8_v_sweep fig9_budget_sweep scaling ablation_seeds des_validation"
+# serve_bench is not runner-based either but takes the same --out flag
+# (BENCH_serve.json at the repo root is its committed baseline snapshot).
+runner_benches="fig8_v_sweep fig9_budget_sweep scaling ablation_seeds des_validation serve_bench"
 
 mkdir -p results bench/out
 for bench in build/bench/*; do

@@ -1,0 +1,305 @@
+#include "serve/codec.h"
+
+#include <cstring>
+
+namespace eotora::serve {
+
+namespace {
+
+// Little-endian primitive writers. memcpy keeps them alignment-safe; the
+// explicit byte order makes the wire format machine-independent.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value) {
+  out.push_back(value);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(out, bits);
+}
+
+// Bounds-checked sequential reader over a payload.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& data) : data_(&data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return (*data_)[offset_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16() {
+    need(2);
+    std::uint16_t value = 0;
+    for (int shift = 0; shift < 16; shift += 8) {
+      value = static_cast<std::uint16_t>(
+          value | static_cast<std::uint16_t>((*data_)[offset_++]) << shift);
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>((*data_)[offset_++]) << shift;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>((*data_)[offset_++]) << shift;
+    }
+    return value;
+  }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  // A u32 element count, sanity-bounded by the bytes actually remaining so
+  // a corrupt count cannot drive a huge reserve().
+  [[nodiscard]] std::size_t count(std::size_t min_element_bytes) {
+    const std::uint32_t n = u32();
+    if (min_element_bytes > 0 &&
+        static_cast<std::size_t>(n) > remaining() / min_element_bytes) {
+      throw CodecError("element count " + std::to_string(n) +
+                       " exceeds the remaining payload");
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const {
+    return data_->size() - offset_;
+  }
+
+  void finish() const {
+    if (offset_ != data_->size()) {
+      throw CodecError(std::to_string(data_->size() - offset_) +
+                       " trailing bytes after a complete payload");
+    }
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (data_->size() - offset_ < bytes) {
+      throw CodecError("payload truncated (needed " + std::to_string(bytes) +
+                       " more bytes at offset " + std::to_string(offset_) +
+                       ")");
+    }
+  }
+
+  const std::vector<std::uint8_t>* data_;
+  std::size_t offset_ = 0;
+};
+
+void put_row(std::vector<std::uint8_t>& out, const std::vector<double>& row) {
+  put_u32(out, static_cast<std::uint32_t>(row.size()));
+  for (const double h : row) put_f64(out, h);
+}
+
+[[nodiscard]] std::vector<double> read_row(Reader& reader) {
+  const std::size_t n = reader.count(sizeof(double));
+  std::vector<double> row;
+  row.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) row.push_back(reader.f64());
+  return row;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const Hello& hello) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kProtocolMagic);
+  put_u16(out, kProtocolVersion);
+  put_u32(out, hello.devices);
+  put_u32(out, hello.base_stations);
+  put_u8(out, hello.want_decisions ? 1 : 0);
+  return out;
+}
+
+Hello decode_hello(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  const std::uint32_t magic = reader.u32();
+  if (magic != kProtocolMagic) {
+    throw CodecError("bad hello magic " + std::to_string(magic) +
+                     " (expected " + std::to_string(kProtocolMagic) + ")");
+  }
+  const std::uint16_t version = reader.u16();
+  if (version != kProtocolVersion) {
+    throw CodecError("unsupported protocol version " +
+                     std::to_string(version) + " (this build speaks " +
+                     std::to_string(kProtocolVersion) + ")");
+  }
+  Hello hello;
+  hello.devices = reader.u32();
+  hello.base_stations = reader.u32();
+  hello.want_decisions = reader.u8() != 0;
+  reader.finish();
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_delta(const sim::SlotDelta& delta) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, delta.slot);
+  put_u8(out, delta.has_price ? 1 : 0);
+  put_f64(out, delta.has_price ? delta.price : 0.0);
+  put_u32(out, static_cast<std::uint32_t>(delta.joins.size()));
+  for (const auto& join : delta.joins) {
+    put_u32(out, join.device);
+    put_f64(out, join.task_cycles);
+    put_f64(out, join.data_bits);
+    put_row(out, join.channel_row);
+  }
+  put_u32(out, static_cast<std::uint32_t>(delta.leaves.size()));
+  for (const std::uint32_t device : delta.leaves) put_u32(out, device);
+  put_u32(out, static_cast<std::uint32_t>(delta.workloads.size()));
+  for (const auto& update : delta.workloads) {
+    put_u32(out, update.device);
+    put_f64(out, update.task_cycles);
+    put_f64(out, update.data_bits);
+  }
+  put_u32(out, static_cast<std::uint32_t>(delta.channels.size()));
+  for (const auto& update : delta.channels) {
+    put_u32(out, update.device);
+    put_row(out, update.row);
+  }
+  return out;
+}
+
+sim::SlotDelta decode_delta(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  sim::SlotDelta delta;
+  delta.slot = reader.u64();
+  delta.has_price = reader.u8() != 0;
+  const double price = reader.f64();
+  delta.price = delta.has_price ? price : 0.0;
+  const std::size_t joins = reader.count(4 + 8 + 8 + 4);
+  delta.joins.reserve(joins);
+  for (std::size_t i = 0; i < joins; ++i) {
+    sim::SlotDelta::Join join;
+    join.device = reader.u32();
+    join.task_cycles = reader.f64();
+    join.data_bits = reader.f64();
+    join.channel_row = read_row(reader);
+    delta.joins.push_back(std::move(join));
+  }
+  const std::size_t leaves = reader.count(4);
+  delta.leaves.reserve(leaves);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    delta.leaves.push_back(reader.u32());
+  }
+  const std::size_t workloads = reader.count(4 + 8 + 8);
+  delta.workloads.reserve(workloads);
+  for (std::size_t i = 0; i < workloads; ++i) {
+    sim::SlotDelta::Workload update;
+    update.device = reader.u32();
+    update.task_cycles = reader.f64();
+    update.data_bits = reader.f64();
+    delta.workloads.push_back(update);
+  }
+  const std::size_t channels = reader.count(4 + 4);
+  delta.channels.reserve(channels);
+  for (std::size_t i = 0; i < channels; ++i) {
+    sim::SlotDelta::ChannelRow update;
+    update.device = reader.u32();
+    update.row = read_row(reader);
+    delta.channels.push_back(std::move(update));
+  }
+  reader.finish();
+  return delta;
+}
+
+std::vector<std::uint8_t> encode_decision(const DecisionReply& decision) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, decision.slot);
+  put_f64(out, decision.latency);
+  put_f64(out, decision.energy_cost);
+  put_f64(out, decision.theta);
+  put_f64(out, decision.queue_after);
+  return out;
+}
+
+DecisionReply decode_decision(const std::vector<std::uint8_t>& payload) {
+  Reader reader(payload);
+  DecisionReply decision;
+  decision.slot = reader.u64();
+  decision.latency = reader.f64();
+  decision.energy_cost = reader.f64();
+  decision.theta = reader.f64();
+  decision.queue_after = reader.f64();
+  reader.finish();
+  return decision;
+}
+
+std::vector<std::uint8_t> encode_frame(
+    FrameType type, const std::vector<std::uint8_t>& payload) {
+  // The type tag counts toward the prefixed length.
+  const std::size_t length = payload.size() + 1;
+  if (length > kMaxFramePayload) {
+    throw CodecError("frame payload of " + std::to_string(payload.size()) +
+                     " bytes exceeds the " +
+                     std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + length);
+  put_u32(out, static_cast<std::uint32_t>(length));
+  put_u8(out, static_cast<std::uint8_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameAssembler::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameAssembler::next(Frame& out) {
+  if (buffer_.size() < 4) return false;
+  std::uint32_t length = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    length |= static_cast<std::uint32_t>(buffer_[shift / 8]) << shift;
+  }
+  if (length == 0) {
+    throw CodecError("zero-length frame (a frame always carries a type tag)");
+  }
+  if (length > kMaxFramePayload) {
+    throw CodecError("frame length prefix " + std::to_string(length) +
+                     " exceeds the " + std::to_string(kMaxFramePayload) +
+                     "-byte cap (corrupt stream?)");
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) return false;
+  const std::uint8_t type = buffer_[4];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kError)) {
+    throw CodecError("unknown frame type " + std::to_string(type));
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(buffer_.begin() + 5, buffer_.begin() + 4 + length);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
+  return true;
+}
+
+}  // namespace eotora::serve

@@ -1,0 +1,80 @@
+// Single-producer single-consumer ring — the serve daemon's data path.
+//
+// The ingest thread (socket reader / load generator) pushes decoded
+// SlotDeltas, the decide loop pops them; neither side ever takes a lock,
+// matching BESS's split between a lock-free data path and a message-based
+// control path. The implementation is the classic two-counter SPSC queue:
+// `tail_` is written only by the producer, `head_` only by the consumer,
+// and each side reads the other's counter with acquire ordering to pair
+// with the release store that published it — so the element written at
+// slots_[tail & mask] is visible before the consumer can observe the new
+// tail. CI runs the tests over this header under TSan.
+//
+// Capacity is rounded up to a power of two so the index math is a mask.
+// try_push/try_pop never block: a full ring back-pressures the producer
+// (the daemon simply stops reading its socket), an empty ring idles the
+// consumer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace eotora::serve {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    EOTORA_REQUIRE(capacity > 0);
+    std::size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  // Producer side. Returns false (and leaves `value` unmoved) when full.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Snapshot occupancy. Exact from either owning thread's point of view;
+  // an outside observer may see it off by in-flight operations, which is
+  // fine for the metrics it feeds.
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // On separate cache lines so the producer's tail stores never invalidate
+  // the consumer's head line and vice versa.
+  alignas(64) std::atomic<std::size_t> head_{0};  // next pop
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next push
+};
+
+}  // namespace eotora::serve

@@ -1,0 +1,142 @@
+#include "serve/server.h"
+
+#include <thread>
+
+#include "util/check.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace eotora::serve {
+
+util::Json ServeMetrics::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["schema"] = "eotora-serve-metrics-v1";
+  doc["slots_decided"] = slots_decided;
+  doc["deltas_submitted"] = deltas_submitted;
+  doc["last_slot"] = last_slot;
+  doc["ingest_depth"] = ingest_depth;
+  doc["ingest_depth_max"] = ingest_depth_max;
+  doc["decide_p50_us"] = decide_p50_us;
+  doc["decide_p99_us"] = decide_p99_us;
+  doc["decide_max_us"] = decide_max_us;
+  doc["queue_backlog"] = queue_backlog;
+  doc["avg_latency"] = avg_latency;
+  doc["avg_energy_cost"] = avg_energy_cost;
+  doc["active_devices"] = active_devices;
+  doc["error"] = error;
+  return doc;
+}
+
+ServeLoop::ServeLoop(const core::Instance& instance,
+                     std::unique_ptr<sim::Policy> policy,
+                     ServeOptions options)
+    : instance_(&instance),
+      policy_(std::move(policy)),
+      options_(options),
+      ring_(options.ring_capacity),
+      applier_(instance.num_devices(), instance.num_base_stations(),
+               options.away_workload_fraction),
+      rng_(options.rng_seed) {
+  EOTORA_REQUIRE(policy_ != nullptr);
+}
+
+bool ServeLoop::submit(sim::SlotDelta delta) {
+  if (failed_.load(std::memory_order_acquire)) return false;
+  if (!ring_.try_push(std::move(delta))) return false;
+  submitted_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+void ServeLoop::run() {
+  policy_->reset();
+  core::SlotState state;
+  core::DppSlotResult slot;
+  sim::SlotDelta delta;
+  util::Timer timer;
+  for (;;) {
+    const std::uint64_t depth = ring_.size();
+    if (!ring_.try_pop(delta)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      // Idle: the producer is slower than the solver right now. Yield
+      // rather than spin hot — decide latency is measured per slot, not
+      // across the wait.
+      std::this_thread::yield();
+      continue;
+    }
+    try {
+      {
+        EOTORA_TRACE_SPAN("serve/apply");
+        applier_.apply(delta, state);
+      }
+      double decide_seconds = 0.0;
+      {
+        EOTORA_TRACE_SPAN("serve/decide");
+        timer.reset();
+        slot = policy_->step(state, rng_);
+        decide_seconds = timer.elapsed_seconds();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(metrics_mutex_);
+        ++slots_decided_;
+        last_slot_ = delta.slot;
+        if (depth > ingest_depth_max_) ingest_depth_max_ = depth;
+        if (decide_us_.size() < options_.latency_capacity) {
+          decide_us_.push_back(decide_seconds * 1e6);
+        }
+        latency_stats_.add(slot.latency);
+        cost_stats_.add(slot.energy_cost);
+        queue_backlog_ = slot.queue_after;
+        active_devices_ = applier_.active_devices();
+      }
+      if (on_decision_) on_decision_(delta.slot, slot);
+    } catch (const std::exception& error) {
+      // sim::DeltaError (a rejected delta) or, defensively, anything the
+      // solver threw on a pathological-but-validated state. Either way the
+      // loop is poisoned: record the message and stop deciding.
+      {
+        const std::lock_guard<std::mutex> lock(metrics_mutex_);
+        error_ = error.what();
+      }
+      failed_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void ServeLoop::request_stop() {
+  stop_.store(true, std::memory_order_release);
+}
+
+bool ServeLoop::drained() const {
+  if (failed_.load(std::memory_order_acquire)) return true;
+  const std::uint64_t submitted = submitted_.load(std::memory_order_acquire);
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return slots_decided_ == submitted;
+}
+
+ServeMetrics ServeLoop::metrics() const {
+  ServeMetrics snapshot;
+  snapshot.deltas_submitted = submitted_.load(std::memory_order_acquire);
+  snapshot.ingest_depth = ring_.size();
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  snapshot.slots_decided = slots_decided_;
+  snapshot.last_slot = last_slot_;
+  snapshot.ingest_depth_max = ingest_depth_max_;
+  if (!decide_us_.empty()) {
+    snapshot.decide_p50_us = util::percentile(decide_us_, 50.0);
+    snapshot.decide_p99_us = util::percentile(decide_us_, 99.0);
+    double max_us = decide_us_.front();
+    for (const double us : decide_us_) max_us = us > max_us ? us : max_us;
+    snapshot.decide_max_us = max_us;
+  }
+  snapshot.queue_backlog = queue_backlog_;
+  if (latency_stats_.count() > 0) {
+    snapshot.avg_latency = latency_stats_.mean();
+    snapshot.avg_energy_cost = cost_stats_.mean();
+  }
+  snapshot.active_devices = active_devices_;
+  snapshot.error = error_;
+  return snapshot;
+}
+
+}  // namespace eotora::serve

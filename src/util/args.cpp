@@ -24,6 +24,13 @@ Args::Args(int argc, const char* const* argv,
       throw std::invalid_argument("unknown option '--" + key +
                                   "'; known options:" + known);
     }
+    // Last-wins on a repeated flag would silently drop the earlier value
+    // ("--devices=10 --devices=100" ran with 100); repeats are always a
+    // mistake here, so reject them.
+    if (values_.find(key) != values_.end()) {
+      throw std::invalid_argument("duplicate option '--" + key +
+                                  "': every option may be given at most once");
+    }
     values_[key] = eq == std::string::npos ? "" : body.substr(eq + 1);
   }
 }
@@ -47,14 +54,15 @@ double Args::get_double(const std::string& key, double fallback) const {
 long Args::get_int(const std::string& key, long fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  const double value = parse_double(it->second);
-  const long integral = static_cast<long>(value);
-  if (static_cast<double>(integral) != value) {
+  // parse_long, not parse_double-and-truncate: a double round-trip loses
+  // precision silently above 2^53.
+  try {
+    return parse_long(it->second);
+  } catch (const std::invalid_argument&) {
     throw std::invalid_argument("option '--" + key +
                                 "' expects an integer, got '" + it->second +
                                 "'");
   }
-  return integral;
 }
 
 }  // namespace eotora::util

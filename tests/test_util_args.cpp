@@ -57,5 +57,49 @@ TEST(Args, ValueMayContainEquals) {
   EXPECT_EQ(args.get("path", ""), "/a=b/c");
 }
 
+// Repeated flags used to be silently last-wins: "--devices=10 --devices=90"
+// ran with 90 devices and no hint that the first value was dropped.
+TEST(Args, RejectsDuplicateFlag) {
+  try {
+    make({"--devices=10", "--devices=90"}, {"devices"});
+    FAIL() << "duplicate flag was accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("duplicate option '--devices'"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Args, RejectsDuplicateValuelessFlag) {
+  EXPECT_THROW(make({"--stream", "--stream"}, {"stream"}),
+               std::invalid_argument);
+  // A value form plus a bare form of the same key is also a duplicate.
+  EXPECT_THROW(make({"--audit=off", "--audit"}, {"audit"}),
+               std::invalid_argument);
+}
+
+// get_int used to parse through double and truncate, which silently rounds
+// above 2^53 and accepted "3.7" as 3.
+TEST(Args, GetIntIsExactForLargeValues) {
+  const Args args = make({"--n=9007199254740993"}, {"n"});
+  EXPECT_EQ(args.get_int("n", 0), 9007199254740993L);
+}
+
+TEST(Args, GetIntRejectsNonFiniteAndOverflow) {
+  EXPECT_THROW((void)make({"--n=inf"}, {"n"}).get_int("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make({"--n=nan"}, {"n"}).get_int("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make({"--n=99999999999999999999"}, {"n"}).get_int("n", 0),
+               std::invalid_argument);
+}
+
+TEST(Args, GetDoubleRejectsNonFinite) {
+  EXPECT_THROW((void)make({"--v=inf"}, {"v"}).get_double("v", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make({"--v=1e999"}, {"v"}).get_double("v", 0.0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace eotora::util
